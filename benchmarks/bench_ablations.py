@@ -1,0 +1,127 @@
+"""Ablations over the IP-model design axes (paper's conclusion section).
+
+'IP graphs provide flexibility in the design of parallel architectures in
+view of the possibility of selecting several parameters, nuclei,
+super-generators, seed labels ...  In particular, a dense nucleus graph
+reduces the diameter and average distance, a strong set of super-generators
+enhances the embedding capability, a seed label consisting of distinct
+symbols generates a symmetric and regular network.'
+
+Three ablations test those three sentences quantitatively.
+"""
+
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.core.superip import SuperGeneratorSet, build_super_ip_graph
+
+from conftest import print_table
+
+
+def test_ablation_nucleus_density(benchmark):
+    """Axis 1: nucleus density.  Same family (HSN, l = 2), nuclei of nearly
+    equal size but increasing density — diameter and average distance must
+    fall as the nucleus gets denser."""
+
+    def run():
+        rows = []
+        for nuc in (
+            nw.ring_nucleus(16),                     # sparse: degree 2
+            nw.hypercube_nucleus(4),                 # degree 4
+            nw.folded_hypercube_nucleus(4),          # degree 5
+            nw.generalized_hypercube_nucleus((4, 4)),# degree 6
+            nw.complete_nucleus(16),                 # dense: degree 15
+        ):
+            g = build_super_ip_graph(nuc, SuperGeneratorSet.transpositions(2))
+            rows.append(
+                {
+                    "nucleus": nuc.name,
+                    "nucleus degree": nuc.num_generators,
+                    "N": g.num_nodes,
+                    "network degree": g.max_degree,
+                    "diameter": mt.diameter(g),
+                    "avg distance": round(mt.average_distance(g), 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    diams = [r["diameter"] for r in rows]
+    avgs = [r["avg distance"] for r in rows]
+    assert diams == sorted(diams, reverse=True)
+    assert avgs == sorted(avgs, reverse=True)
+    print_table("Ablation 1: nucleus density (HSN, l=2, M=16)", rows)
+
+
+def test_ablation_supergenerator_family(benchmark):
+    """Axis 2: super-generator choice.  Same nucleus and l: transpositions,
+    ring shifts, complete shifts and flips trade I-degree against routing
+    flexibility while every family keeps I-diameter = t = l − 1."""
+
+    def run():
+        rows = []
+        nuc = nw.hypercube_nucleus(2)
+        for name, sgs in [
+            ("transpositions", SuperGeneratorSet.transpositions(4)),
+            ("ring shifts", SuperGeneratorSet.ring(4)),
+            ("complete shifts", SuperGeneratorSet.complete_shifts(4)),
+            ("flips", SuperGeneratorSet.flips(4)),
+        ]:
+            g = build_super_ip_graph(nuc, sgs)
+            ma = mt.nucleus_modules(g)
+            s = mt.intercluster_summary(ma)
+            rows.append(
+                {
+                    "super-generators": name,
+                    "d_S": sgs.num_generators,
+                    "N": g.num_nodes,
+                    "degree": g.max_degree,
+                    "diameter": mt.diameter(g),
+                    "I-degree": round(s.i_degree, 3),
+                    "I-diameter": s.i_diameter,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(r["I-diameter"] == 3 for r in rows)  # t = l - 1
+    assert all(r["diameter"] == 2 * 4 + 3 for r in rows)  # l*D_G + t
+    ring_row = next(r for r in rows if r["super-generators"] == "ring shifts")
+    assert ring_row["I-degree"] <= 2.0  # the fixed-degree headline
+    print_table("Ablation 2: super-generator family (l=4, Q2 nucleus)", rows)
+
+
+def test_ablation_seed_symmetry(benchmark):
+    """Axis 3: seed label.  Distinct-symbol seeds buy regularity and
+    vertex-transitivity at the cost of |A|x more nodes, with diameter
+    growing only by t_S − t."""
+
+    def run():
+        rows = []
+        nuc = nw.hypercube_nucleus(2)
+        for fam, factory in [
+            ("HSN", SuperGeneratorSet.transpositions),
+            ("ring-CN", SuperGeneratorSet.ring),
+        ]:
+            for sym in (False, True):
+                g = build_super_ip_graph(nuc, factory(2), symmetric=sym)
+                rows.append(
+                    {
+                        "network": ("sym-" if sym else "") + fam,
+                        "N": g.num_nodes,
+                        "regular": g.is_regular(),
+                        "vertex-transitive": mt.looks_vertex_transitive(g),
+                        "degree(max)": g.max_degree,
+                        "diameter": mt.diameter(g),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for r in rows:
+        if r["network"].startswith("sym-"):
+            assert r["regular"] and r["vertex-transitive"]
+        else:
+            assert not r["regular"]
+    print_table("Ablation 3: seed symmetry (l=2, Q2 nucleus)", rows)

@@ -1,0 +1,129 @@
+"""Algorithmic-properties experiments (Sections 1 & 5 prose claims).
+
+* broadcast off-module traffic: super-IP graphs confine data movement to
+  modules even with a module-oblivious algorithm; hypercubes need the
+  module-aware schedule to match;
+* hypercube emulation: constant-slowdown ascend algorithms on HSN;
+* wormhole (cut-through) long messages: latency tracks the I-degree.
+"""
+
+import numpy as np
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.algorithms import (
+    ascend_sum,
+    broadcast_schedule,
+    hierarchical_broadcast_schedule,
+    HypercubeEmulator,
+    schedule_traffic_split,
+)
+from repro.sim import uniform_random, unit_offmodule_capacity
+from repro.sim.wormhole import WormholeSimulator
+
+from conftest import print_table
+
+
+def test_broadcast_confinement(benchmark):
+    """'the required data movements ... are largely confined within basic
+    modules'."""
+
+    def run():
+        rows = []
+        for g, cluster in [
+            (nw.hsn_hypercube(3, 2), mt.nucleus_modules),
+            (nw.ring_cn_hypercube(3, 2), mt.nucleus_modules),
+            (nw.hypercube(6), lambda g: mt.subcube_modules(g, 3)),
+        ]:
+            ma = cluster(g)
+            _, off_generic = schedule_traffic_split(broadcast_schedule(g), ma)
+            hier = hierarchical_broadcast_schedule(g, ma)
+            _, off_hier = schedule_traffic_split(hier, ma)
+            rows.append(
+                {
+                    "network": g.name,
+                    "modules": ma.num_modules,
+                    "off-module (generic bcast)": off_generic,
+                    "off-module (hierarchical)": off_hier,
+                    "minimum": ma.num_modules - 1,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for r in rows:
+        assert r["off-module (hierarchical)"] == r["minimum"]
+        if "HSN" in r["network"] or "CN" in r["network"]:
+            # super-IP: even the generic broadcast is off-module optimal
+            assert r["off-module (generic bcast)"] == r["minimum"]
+    q_row = next(r for r in rows if r["network"] == "Q6")
+    assert q_row["off-module (generic bcast)"] > 3 * q_row["minimum"]
+    print_table("Broadcast off-module traffic", rows)
+
+
+def test_emulation_constant_slowdown(benchmark):
+    """'emulate a corresponding higher-degree network ... with
+    asymptotically optimal slowdown'."""
+
+    def run():
+        emu = HypercubeEmulator(2, 3)
+        rng = np.random.default_rng(0)
+        vals = rng.random(emu.guest.num_nodes)
+        total, steps = ascend_sum(emu, vals)
+        return emu, total, steps, vals.sum()
+
+    emu, total, steps, expected = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert total == pytest.approx(expected)
+    assert steps <= 3 * emu.dims  # dilation-3 emulation
+    print_table(
+        "Hypercube emulation on HSN(2,Q3)",
+        [
+            {
+                "guest": f"Q{emu.dims}",
+                "host": emu.host.name,
+                "hypercube steps": emu.dims,
+                "HSN steps": steps,
+                "slowdown": round(steps / emu.dims, 2),
+                "max per-dim": emu.max_slowdown,
+            }
+        ],
+    )
+
+
+def test_wormhole_long_messages(benchmark):
+    """'when wormhole or cut-through routing is used and messages are long,
+    the delay ... is approximately proportional to its inter-cluster
+    degree'."""
+
+    def run():
+        rows = []
+        for g, cluster in [
+            (nw.hypercube(6), lambda g: mt.subcube_modules(g, 3)),
+            (nw.hsn_hypercube(2, 3), mt.nucleus_modules),
+        ]:
+            ma = cluster(g)
+            s = mt.intercluster_summary(ma)
+            sim = WormholeSimulator(
+                g,
+                delays=unit_offmodule_capacity(g, ma, off_scale=4),
+                module_of=ma.module_of,
+            )
+            rng = np.random.default_rng(3)
+            stats = sim.run(uniform_random(g, 0.005, 400, rng), length=32)
+            rows.append(
+                {
+                    "network": g.name,
+                    "I-degree": round(s.i_degree, 3),
+                    "mean latency (32-flit)": round(stats.mean_latency, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by = {r["network"]: r for r in rows}
+    assert (
+        by["HSN(2,Q3)"]["mean latency (32-flit)"]
+        < by["Q6"]["mean latency (32-flit)"]
+    )
+    print_table("Cut-through latency vs I-degree (long messages)", rows)

@@ -1,0 +1,39 @@
+"""Embedding claims — dilation-3 product-network embeddings in HSNs.
+
+'As shown in [26, 33], an HSN can embed corresponding homogeneous product
+networks such as hypercubes or k-ary n-cubes, with dilation 3.'
+"""
+
+import pytest
+
+from repro.embed import hypercube_into_hsn, torus_into_hsn
+
+from conftest import print_table
+
+
+@pytest.mark.parametrize("l,n", [(2, 3), (3, 2)])
+def test_hypercube_embedding(benchmark, l, n):
+    e = benchmark(hypercube_into_hsn, l, n)
+    r = e.report()
+    assert r.dilation == 3
+    assert r.expansion == 1.0
+    print_table(
+        f"Q{l * n} -> HSN({l},Q{n})",
+        [
+            {
+                "guest": f"Q{l * n}",
+                "host": e.host.name,
+                "dilation": r.dilation,
+                "avg dilation": round(r.avg_dilation, 3),
+                "congestion": r.congestion,
+                "expansion": r.expansion,
+            }
+        ],
+    )
+
+
+def test_torus_embedding(benchmark):
+    e = benchmark(torus_into_hsn, 2, 4)
+    r = e.report()
+    assert r.dilation <= 3
+    assert r.expansion == 1.0

@@ -1,0 +1,79 @@
+"""Figure 2 — DD-cost (degree × diameter) comparison.
+
+Regenerates the full DD-cost sweep for rings, tori, hypercubes, folded
+hypercubes, star graphs, CCC, shuffle-exchange, de Bruijn, HCN and the
+super-IP families, and checks the paper's qualitative conclusions:
+cyclic-shift networks are comparable to the star graph and dominate the
+other popular topologies, increasingly so at large sizes.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import fig2_dd_cost
+
+from conftest import print_table
+
+
+def closest(rows, family, n):
+    cand = [r for r in rows if r["network"] == family]
+    return min(cand, key=lambda r: abs(math.log2(r["N"]) - math.log2(n)))
+
+
+def test_fig2_dd_cost(benchmark):
+    rows = benchmark(fig2_dd_cost, 24)
+    assert len(rows) > 100
+
+    # the paper's reading of the figure
+    for n in (2**12, 2**16, 2**20, 2**24):
+        cn = closest(rows, "ring-CN(l,Q4)", n)
+        star = closest(rows, "star", n)
+        hyper = closest(rows, "hypercube", n)
+        ring = closest(rows, "ring", n)
+        assert cn["DD-cost"] < hyper["DD-cost"] < ring["DD-cost"]
+        assert cn["DD-cost"] <= 2.5 * star["DD-cost"]
+
+    # print a compact per-family table near N = 2^16
+    families = sorted({r["network"] for r in rows})
+    table = [closest(rows, f, 2**16) for f in families]
+    table.sort(key=lambda r: r["DD-cost"])
+    print_table("Figure 2: DD-cost near N = 65536 (closed forms)", table)
+
+
+def test_fig2_exact_small_sizes(benchmark):
+    """Cross-check the closed-form DD rows against exhaustive BFS."""
+    from repro import metrics as mt
+    from repro import networks as nw
+
+    def measure():
+        out = []
+        for g in (
+            nw.ring(64),
+            nw.torus([8, 8]),
+            nw.hypercube(6),
+            nw.folded_hypercube(6),
+            nw.star_graph(5),
+            nw.cube_connected_cycles(4),
+            nw.shuffle_exchange(6),
+            nw.hsn_hypercube(2, 3),
+            nw.ring_cn_hypercube(2, 3),
+        ):
+            out.append(
+                {
+                    "network": g.name,
+                    "N": g.num_nodes,
+                    "degree": g.max_degree,
+                    "diameter": mt.diameter(g),
+                    "DD-cost": g.max_degree * mt.diameter(g),
+                }
+            )
+        return out
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    by_name = {r["network"]: r for r in rows}
+    assert by_name["ring(64)"]["DD-cost"] == 2 * 32
+    assert by_name["Q6"]["DD-cost"] == 36
+    assert by_name["S5"]["DD-cost"] == 4 * 6
+    assert by_name["HSN(2,Q3)"]["DD-cost"] == 4 * 7
+    print_table("Figure 2 (exact, measured on built graphs)", rows)

@@ -1,0 +1,42 @@
+"""Figure 3 — (a) average inter-cluster distance and (b) I-diameter,
+with at most 24 processors per module.
+
+Two regenerations: the closed-form/quotient-exact sweep and the exhaustive
+measurement on all buildable sizes (including HCN with sub-partitioned
+nuclei and QCN(2, Q7/Q3)).  The paper's reading: the hierarchical families
+stay near-constant in average I-distance while hypercube-style networks
+grow linearly in log N.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import fig3_intercluster, fig3_intercluster_measured
+
+from conftest import print_table
+
+
+def test_fig3_formula_sweep(benchmark):
+    rows = benchmark(fig3_intercluster, 4)
+    assert rows
+    # HCN stays at I-diameter 1; HSN grows as l-1
+    for r in rows:
+        if r["network"] == "HCN(n,n)":
+            assert r["I-diameter"] == 1
+        if r["network"] == "HSN(l,Q4)":
+            l = round(math.log(r["N"], 16))
+            assert r["I-diameter"] == l - 1
+            assert r["avg I-dist"] == pytest.approx((l - 1) * 15 / 16, rel=0.01)
+    print_table("Figure 3 (closed-form / quotient-exact)", rows)
+
+
+def test_fig3_measured(benchmark):
+    rows = benchmark.pedantic(fig3_intercluster_measured, rounds=1, iterations=1)
+    assert len(rows) >= 8
+    # hierarchical families beat the hypercube-style growth: the largest
+    # HSN point has smaller avg I-distance than HCN(6,6) with split modules
+    by_net = {(r["network"]): r for r in rows}
+    assert by_net["HSN(3,Q4)"]["avg I-dist"] < by_net["HCN(6,6)"]["avg I-dist"]
+    assert by_net["HSN(3,Q4)"]["I-diameter"] < by_net["HCN(6,6)"]["I-diameter"]
+    print_table("Figure 3 (measured, ≤24 processors/module)", rows)

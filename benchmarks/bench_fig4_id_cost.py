@@ -1,0 +1,71 @@
+"""Figure 4 — ID-cost (inter-cluster degree × diameter), ≤ 16 nodes/module.
+
+The paper: 'cyclic-shift networks have ID-cost considerably smaller than
+those of other popular topologies, for small- to large-scale networks.'
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import fig4_id_cost
+
+from conftest import print_table
+
+
+def closest(rows, family, n):
+    cand = [r for r in rows if r["network"] == family]
+    return min(cand, key=lambda r: abs(math.log2(r["N"]) - math.log2(n)))
+
+
+def test_fig4_id_cost(benchmark):
+    rows = benchmark(fig4_id_cost, 24)
+    assert rows
+    for n in (2**10, 2**16, 2**20):
+        cn = closest(rows, "ring-CN(l,Q4)", n)
+        hyper = closest(rows, "hypercube", n)
+        assert cn["ID-cost"] < hyper["ID-cost"]
+    # ring-CN's ID-cost grows ~ 2 * diameter only (I-degree fixed at <= 2)
+    for r in rows:
+        if r["network"] == "ring-CN(l,Q4)":
+            assert r["I-degree"] <= 2.0
+
+    families = sorted({r["network"] for r in rows})
+    table = [closest(rows, f, 2**16) for f in families]
+    table.sort(key=lambda r: (r["ID-cost"] is None, r["ID-cost"]))
+    print_table("Figure 4: ID-cost near N = 65536", table)
+
+
+def test_fig4_exact_small(benchmark):
+    """Exact ID-cost on built instances of comparable size (N = 4096)."""
+    from repro import metrics as mt
+    from repro import networks as nw
+
+    def measure():
+        out = []
+        cases = [
+            (nw.hypercube(12), lambda g: mt.subcube_modules(g, 4)),
+            (nw.hsn_hypercube(3, 4), mt.nucleus_modules),
+            (nw.ring_cn_hypercube(3, 4), mt.nucleus_modules),
+        ]
+        for g, cluster in cases:
+            ma = cluster(g)
+            ideg = mt.intercluster_degree(ma)
+            diam = mt.diameter(g)
+            out.append(
+                {
+                    "network": g.name,
+                    "N": g.num_nodes,
+                    "module": ma.max_module_size,
+                    "I-degree": round(ideg, 3),
+                    "diameter": diam,
+                    "ID-cost": round(ideg * diam, 2),
+                }
+            )
+        return out
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    by = {r["network"]: r for r in rows}
+    assert by["ring-CN(3,Q4)"]["ID-cost"] < by["Q12"]["ID-cost"]
+    assert by["HSN(3,Q4)"]["ID-cost"] < by["Q12"]["ID-cost"]
+    print_table("Figure 4 (exact, N = 4096)", rows)

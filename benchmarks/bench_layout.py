@@ -1,0 +1,66 @@
+"""VLSI wiring economics (§5 implementation issues / reference [31]).
+
+The recursive grid layout scheme places each module in a compact block;
+for super-IP graphs almost all wires are then short intra-module wires.
+This bench quantifies the wiring profile of HSN vs an equal-size
+hypercube under (a) naive row-major and (b) recursive module layouts.
+"""
+
+import numpy as np
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.layout import recursive_module_layout, row_major_layout
+
+from conftest import print_table
+
+
+def test_wiring_profiles(benchmark):
+    def run():
+        rows = []
+        cases = [
+            (nw.hsn_hypercube(2, 4), mt.nucleus_modules),  # 256 nodes
+            (nw.hypercube(8), lambda g: mt.subcube_modules(g, 4)),
+        ]
+        for g, cluster in cases:
+            ma = cluster(g)
+            naive = row_major_layout(g)
+            rec = recursive_module_layout(g, ma)
+            src_dst = rec._edges()
+            intra = (ma.module_of[src_dst[0]] == ma.module_of[src_dst[1]]).mean()
+            rows.append(
+                {
+                    "network": g.name,
+                    "N": g.num_nodes,
+                    "intra-module wires": f"{100 * intra:.0f}%",
+                    "total wire (naive)": naive.total_wire_length,
+                    "total wire (recursive)": rec.total_wire_length,
+                    "max wire (recursive)": rec.max_wire_length,
+                    "congestion (recursive)": rec.cut_congestion(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by = {r["network"]: r for r in rows}
+    hsn = by["HSN(2,Q4)"]
+    q8 = by["Q8"]
+    # the hierarchical network's wiring is dominated by short wires and its
+    # recursive layout beats its own naive layout
+    assert hsn["total wire (recursive)"] <= hsn["total wire (naive)"]
+    # fewer long wires than the hypercube at equal N under the same scheme
+    assert hsn["total wire (recursive)"] < q8["total wire (recursive)"]
+    assert hsn["congestion (recursive)"] < q8["congestion (recursive)"]
+    print_table("Recursive grid layout: wiring economics", rows)
+
+
+def test_layout_scaling(benchmark):
+    """Construction speed of the recursive layout at moderate size."""
+    g = nw.hsn_hypercube(3, 3)  # 512 nodes
+
+    def run():
+        return recursive_module_layout(g, mt.nucleus_modules(g))
+
+    lay = benchmark(run)
+    assert lay.net.num_nodes == 512

@@ -1,0 +1,98 @@
+"""Theorem 4.1 routing — correctness, bound tightness, and throughput.
+
+Benchmarks the label-sorting router against the theoretical bound and
+measures routing throughput (routes/second) without any graph search.
+"""
+
+import numpy as np
+import pytest
+
+from repro import networks as nw
+from repro.core.superip import SuperGeneratorSet, build_super_ip_graph
+from repro.metrics.distances import bfs_distances
+from repro.routing import SuperIPRouter, verify_route
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def hsn_setup():
+    nuc = nw.hypercube_nucleus(3)
+    sgs = SuperGeneratorSet.transpositions(2)
+    g = build_super_ip_graph(nuc, sgs)
+    r = SuperIPRouter(nuc, sgs)
+    return nuc, sgs, g, r
+
+
+def test_routing_throughput(benchmark, hsn_setup):
+    nuc, sgs, g, r = hsn_setup
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(0, g.num_nodes, size=(200, 2))
+
+    def route_batch():
+        total = 0
+        for s, d in pairs:
+            total += len(r.route_nodes(g, int(s), int(d))) - 1
+        return total
+
+    total_hops = benchmark(route_batch)
+    assert total_hops > 0
+
+
+def test_routing_bound_and_stretch(benchmark, hsn_setup):
+    """All routes within l·D_G + t; report the stretch vs BFS optimal."""
+    nuc, sgs, g, r = hsn_setup
+    bound = r.max_route_length()
+    d = bfs_distances(g, np.arange(g.num_nodes))
+
+    def sweep():
+        worst = 0
+        stretch_num = stretch_den = 0
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            s, t = rng.integers(0, g.num_nodes, 2)
+            if s == t:
+                continue
+            path = r.route_nodes(g, int(s), int(t))
+            assert verify_route(g, path)
+            hops = len(path) - 1
+            assert hops <= bound
+            worst = max(worst, hops)
+            stretch_num += hops
+            stretch_den += d[t, s]
+        return worst, stretch_num / stretch_den
+
+    worst, stretch = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Theorem 4.1 router on HSN(2,Q3)",
+        [
+            {
+                "N": g.num_nodes,
+                "bound l·D_G+t": bound,
+                "worst route": worst,
+                "BFS diameter": int(d.max()),
+                "avg stretch": round(stretch, 3),
+            }
+        ],
+    )
+    assert worst <= bound
+    assert stretch < 2.0  # the sorter is near-optimal on average
+
+
+def test_symmetric_routing_bound(benchmark):
+    nuc = nw.hypercube_nucleus(2)
+    sgs = SuperGeneratorSet.transpositions(3)
+    g = build_super_ip_graph(nuc, sgs, symmetric=True)
+    r = SuperIPRouter(nuc, sgs, symmetric=True)
+    rng = np.random.default_rng(2)
+    pairs = rng.integers(0, g.num_nodes, size=(100, 2))
+
+    def route_all():
+        worst = 0
+        for s, d in pairs:
+            p = r.route_nodes(g, int(s), int(d))
+            worst = max(worst, len(p) - 1)
+        return worst
+
+    worst = benchmark(route_all)
+    assert worst <= r.max_route_length()

@@ -1,0 +1,43 @@
+"""Section 5.3 — maximum off-module links per node.
+
+Regenerates the paper's comparison of inter-cluster degree under the
+canonical partitionings: ring-CN 1 (l=2) / 2 (l≥3); HSN, complete-CN and
+super-flip networks l−1; hypercube n−c; star n−k; de Bruijn 4.
+"""
+
+import pytest
+
+from repro.analysis import sec53_offmodule_table
+
+from conftest import print_table
+
+
+def test_sec53_offmodule_links(benchmark):
+    rows = benchmark.pedantic(sec53_offmodule_table, rounds=1, iterations=1)
+    for r in rows:
+        assert r["max off-links/node"] == r["paper"], r
+    print_table("Section 5.3: off-module links per node", rows)
+
+
+def test_sec53_bandwidth_argument(benchmark):
+    """'an off-module link of a super-IP graph has bandwidth considerably
+    larger than that of a hypercube or star graph' under unit off-module
+    capacity — i.e. the off-module link count per node is much smaller."""
+    from repro import metrics as mt
+    from repro import networks as nw
+
+    def measure():
+        h = nw.ring_cn_hypercube(3, 2)
+        q = nw.hypercube(6)
+        s = nw.star_graph(5)
+        return (
+            mt.offmodule_links_per_node(mt.nucleus_modules(h)).max(),
+            mt.offmodule_links_per_node(mt.subcube_modules(q, 2)).max(),
+            mt.offmodule_links_per_node(
+                mt.modules_by_key(s, lambda lab: lab[2:])
+            ).max(),
+        )
+
+    cn_off, q_off, s_off = benchmark(measure)
+    assert cn_off < q_off
+    assert cn_off < s_off

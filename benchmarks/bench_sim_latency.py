@@ -1,0 +1,129 @@
+"""Section 5 latency claims, validated with the packet simulator.
+
+* Unit node capacity → light-load latency tracks **DD-cost** (Fig. 2);
+* slow off-module links → light-load latency tracks **II-cost** (Fig. 5).
+
+Absolute latencies depend on the simulator's service model; the claim
+under test is the *ordering* and the rough proportionality across
+networks of equal size.
+"""
+
+import numpy as np
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.sim import (
+    PacketSimulator,
+    on_off_module_delay,
+    uniform_random,
+    unit_node_capacity,
+)
+
+from conftest import print_table
+
+
+def light_load_latency(net, delays, seed=0, rate=0.01, cycles=300):
+    rng = np.random.default_rng(seed)
+    sim = PacketSimulator(net, delays=delays)
+    stats = sim.run(uniform_random(net, rate, cycles, rng))
+    assert stats.delivered > 30
+    return stats.mean_latency
+
+
+def test_dd_cost_latency_ordering(benchmark):
+    """64-node networks under unit node capacity: latency follows DD-cost."""
+
+    def run():
+        nets = [
+            nw.hypercube(6),  # DD = 36
+            nw.hsn_hypercube(2, 3),  # DD = 28
+            nw.ring(64),  # DD = 64
+            nw.torus([8, 8]),  # DD = 32, N=64? (8x8=64)
+        ]
+        rows = []
+        for g in nets:
+            lat = light_load_latency(g, unit_node_capacity(g))
+            rows.append(
+                {
+                    "network": g.name,
+                    "N": g.num_nodes,
+                    "DD-cost": g.max_degree * mt.diameter(g),
+                    "sim latency": round(lat, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows.sort(key=lambda r: r["DD-cost"])
+    lats = [r["sim latency"] for r in rows]
+    # latency ordering must follow DD-cost ordering between the extremes
+    assert lats[0] < lats[-1]
+    print_table("Sim latency vs DD-cost (unit node capacity, light load)", rows)
+
+
+def test_ii_cost_latency_ordering(benchmark):
+    """64-node networks with off-module links 10× slower: latency follows
+    II-cost — the hierarchical families win."""
+
+    def run():
+        cases = [
+            (nw.hypercube(6), lambda g: mt.subcube_modules(g, 3)),
+            (nw.hsn_hypercube(2, 3), mt.nucleus_modules),
+            (nw.ring_cn_hypercube(2, 3), mt.nucleus_modules),
+        ]
+        rows = []
+        for g, cluster in cases:
+            ma = cluster(g)
+            s = mt.intercluster_summary(ma)
+            lat = light_load_latency(
+                g, on_off_module_delay(g, ma, off_factor=10)
+            )
+            rows.append(
+                {
+                    "network": g.name,
+                    "N": g.num_nodes,
+                    "II-cost": round(s.i_degree * s.i_diameter, 2),
+                    "avg I-dist": round(s.avg_i_distance, 3),
+                    "sim latency": round(lat, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by = {r["network"]: r for r in rows}
+    assert by["HSN(2,Q3)"]["sim latency"] < by["Q6"]["sim latency"]
+    assert by["ring-CN(2,Q3)"]["sim latency"] < by["Q6"]["sim latency"]
+    print_table("Sim latency vs II-cost (off-module 10x slower)", rows)
+
+
+def test_throughput_vs_avg_i_distance(benchmark):
+    """'maximum throughput ... is inversely proportional to its average
+    inter-cluster distance when the off-module links are uniformly
+    utilized and the off-module bandwidth is the communication
+    bottleneck' — under saturating load with *fixed per-node off-module
+    capacity* the lower-avg-I-distance network delivers more packets."""
+    from repro.sim import unit_offmodule_capacity
+
+    def run():
+        out = {}
+        for g, cluster in [
+            (nw.hypercube(6), lambda g: mt.subcube_modules(g, 3)),
+            (nw.hsn_hypercube(2, 3), mt.nucleus_modules),
+        ]:
+            ma = cluster(g)
+            rng = np.random.default_rng(7)
+            sim = PacketSimulator(
+                g,
+                delays=unit_offmodule_capacity(g, ma, off_scale=10),
+                module_of=ma.module_of,
+            )
+            stats = sim.run(
+                uniform_random(g, 0.30, 150, rng), max_cycles=8000
+            )
+            out[g.name] = stats.throughput
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    # avg I-distance ratio Q6:HSN is ~1.7; throughput should invert it
+    assert out["HSN(2,Q3)"] > 1.3 * out["Q6"]

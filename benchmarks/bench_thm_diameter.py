@@ -1,0 +1,132 @@
+"""Theorems 3.2, 4.1, 4.3 and Corollary 4.2 — sizes and diameters.
+
+Benchmarks exhaustive BFS-diameter verification of the diameter formula
+``l·D_G + t`` across every family/nucleus combination, plus the symmetric
+variants and the Moore-bound optimality ratios of Theorem 4.4.
+"""
+
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.core.superip import (
+    SuperGeneratorSet,
+    build_super_ip_graph,
+    diameter_formula,
+    super_ip_size,
+    symmetric_diameter_formula,
+)
+
+from conftest import print_table
+
+FAMILIES = {
+    "HSN": SuperGeneratorSet.transpositions,
+    "ring-CN": SuperGeneratorSet.ring,
+    "complete-CN": SuperGeneratorSet.complete_shifts,
+    "super-flip": SuperGeneratorSet.flips,
+}
+
+
+def verify_all():
+    rows = []
+    nuclei = [nw.hypercube_nucleus(2), nw.complete_nucleus(3), nw.star_nucleus(3)]
+    for nuc in nuclei:
+        M, DG = nuc.size(), nuc.diameter()
+        for l in (2, 3):
+            for fam, factory in FAMILIES.items():
+                sgs = factory(l)
+                g = build_super_ip_graph(nuc, sgs)
+                d = mt.diameter(g)
+                f = diameter_formula(DG, sgs)
+                rows.append(
+                    {
+                        "family": fam,
+                        "nucleus": nuc.name,
+                        "l": l,
+                        "N": g.num_nodes,
+                        "N (Thm 3.2)": super_ip_size(M, l),
+                        "diameter": d,
+                        "l·D_G+t": f,
+                        "match": d == f,
+                    }
+                )
+    return rows
+
+
+def test_theorem_41_diameters(benchmark):
+    rows = benchmark.pedantic(verify_all, rounds=1, iterations=1)
+    assert all(r["match"] for r in rows)
+    assert all(r["N"] == r["N (Thm 3.2)"] for r in rows)
+    print_table("Theorem 4.1 / Corollary 4.2: diameter = l·D_G + t", rows)
+
+
+def test_theorem_43_symmetric(benchmark):
+    def verify_sym():
+        rows = []
+        nuc = nw.hypercube_nucleus(2)
+        for fam, factory in FAMILIES.items():
+            sgs = factory(2)
+            g = build_super_ip_graph(nuc, sgs, symmetric=True)
+            d = mt.diameter(g)
+            f = symmetric_diameter_formula(nuc.diameter(), sgs)
+            rows.append(
+                {"family": "sym-" + fam, "N": g.num_nodes, "diameter": d,
+                 "l·D_G+t_S": f, "match": d == f}
+            )
+        return rows
+
+    rows = benchmark(verify_sym)
+    assert all(r["match"] for r in rows)
+    print_table("Theorem 4.3: symmetric variants", rows)
+
+
+def test_theorem_44_moore_ratios(benchmark):
+    """Diameter optimality given degree: super-IP graphs with dense
+    (generalized-hypercube) nuclei stay within a small constant of the
+    Moore bound while the plain hypercube diverges."""
+    from repro.metrics.bounds import diameter_optimality_ratio
+    from repro.analysis.formulas import hypercube_point, superip_point
+
+    def ratios():
+        rows = []
+        # HSN over generalized-hypercube nuclei (the Theorem 4.4 recipe)
+        for l, M, dG, DG, name in [
+            (2, 64, 14, 2, "GH(8,8)"),
+            (3, 64, 14, 2, "GH(8,8)"),
+            (2, 256, 30, 2, "GH(16,16)"),
+        ]:
+            pt = superip_point(
+                f"HSN(l,{name})", SuperGeneratorSet.transpositions(l), M, dG, DG,
+                name, include_i=False,
+            )
+            rows.append(
+                {
+                    "network": f"{pt.family} l={l}",
+                    "N": pt.num_nodes,
+                    "degree": pt.degree,
+                    "diameter": pt.diameter,
+                    "moore-ratio": round(
+                        diameter_optimality_ratio(pt.num_nodes, pt.degree, pt.diameter), 3
+                    ),
+                }
+            )
+        q = hypercube_point(12)
+        rows.append(
+            {
+                "network": "hypercube Q12",
+                "N": q.num_nodes,
+                "degree": q.degree,
+                "diameter": q.diameter,
+                "moore-ratio": round(
+                    diameter_optimality_ratio(q.num_nodes, q.degree, q.diameter), 3
+                ),
+            }
+        )
+        return rows
+
+    rows = benchmark(ratios)
+    superip_ratios = [r["moore-ratio"] for r in rows if r["network"].startswith("HSN")]
+    cube_ratio = [r["moore-ratio"] for r in rows if "hypercube" in r["network"]][0]
+    assert max(superip_ratios) <= 2.0
+    assert cube_ratio > max(superip_ratios)
+    print_table("Theorem 4.4: Moore-bound optimality ratios", rows)

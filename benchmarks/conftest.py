@@ -1,0 +1,19 @@
+"""Shared fixtures/helpers for the figure-regeneration benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each ``bench_*`` module regenerates one table/figure of the paper (see
+DESIGN.md's per-experiment index) and prints the reproduced rows; the
+``benchmark`` fixture times the regeneration itself.
+"""
+
+import pytest
+
+
+def print_table(title: str, rows, columns=None) -> None:
+    from repro.analysis.report import render_table
+
+    print(f"\n=== {title} ===")
+    print(render_table(rows, columns))

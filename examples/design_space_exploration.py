@@ -1,0 +1,78 @@
+"""Design-space exploration with the IP-graph model.
+
+The conclusion of the paper: 'IP graphs provide flexibility in the design
+of parallel architectures in view of the possibility of selecting several
+parameters, nuclei, super-generators, seed labels ...'.  This example
+sweeps that space — four super-generator families × five nuclei × plain
+vs symmetric seeds — and ranks the resulting networks by the paper's cost
+figures of merit, including Moore-bound optimality.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import metrics, networks
+from repro.analysis.report import render_table
+from repro.core import SuperGeneratorSet, build_super_ip_graph
+from repro.metrics.bounds import diameter_optimality_ratio
+
+FAMILIES = {
+    "HSN": SuperGeneratorSet.transpositions,
+    "ring-CN": SuperGeneratorSet.ring,
+    "complete-CN": SuperGeneratorSet.complete_shifts,
+    "super-flip": SuperGeneratorSet.flips,
+}
+
+NUCLEI = [
+    networks.hypercube_nucleus(2),
+    networks.folded_hypercube_nucleus(2),
+    networks.complete_nucleus(4),
+    networks.generalized_hypercube_nucleus((4, 4)),
+    networks.star_nucleus(3),
+]
+
+
+def explore(l: int = 2, symmetric: bool = False) -> list[dict]:
+    rows = []
+    for nuc in NUCLEI:
+        for fam, factory in FAMILIES.items():
+            sgs = factory(l)
+            if symmetric and not nuc.has_distinct_symbols():
+                continue
+            g = build_super_ip_graph(nuc, sgs, symmetric=symmetric)
+            ma = metrics.nucleus_modules(g)
+            c = metrics.measure_costs(g, ma)
+            rows.append(
+                {
+                    "network": g.name,
+                    "N": c.num_nodes,
+                    "degree": c.degree,
+                    "diameter": c.diameter,
+                    "DD": round(c.dd_cost, 1),
+                    "II": round(c.ii_cost, 2),
+                    "moore": round(
+                        diameter_optimality_ratio(c.num_nodes, c.degree, c.diameter), 2
+                    ),
+                    "regular": g.is_regular(),
+                }
+            )
+    rows.sort(key=lambda r: (r["II"], r["DD"]))
+    return rows
+
+
+def main() -> None:
+    print("=== plain super-IP graphs (l = 2), ranked by II-cost ===")
+    print(render_table(explore(l=2, symmetric=False)))
+    print()
+    print("=== symmetric variants (l = 2): all regular & vertex-symmetric ===")
+    rows = explore(l=2, symmetric=True)
+    print(render_table(rows))
+    assert all(r["regular"] for r in rows)
+    print()
+    print("Observations (matching the paper):")
+    print(" * dense nuclei (K4, GH(4,4)) minimize diameter/Moore ratio;")
+    print(" * every family shares I-diameter t = l-1 = 1 at l = 2;")
+    print(" * symmetric seeds cost extra nodes but buy regularity.")
+
+
+if __name__ == "__main__":
+    main()

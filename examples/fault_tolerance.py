@@ -1,0 +1,58 @@
+"""Fault-tolerance attributes of (symmetric) super-IP graphs.
+
+The paper lists fault tolerance among the star graph's desirable
+properties and derives symmetric super-IP variants precisely because
+vertex-symmetric regular networks degrade gracefully.  This example
+measures connectivity and random-fault degradation for a plain HSN, its
+symmetric variant, and same-size baselines.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import numpy as np
+
+from repro import networks
+from repro.analysis.report import render_table
+from repro.metrics import (
+    is_maximally_fault_tolerant,
+    node_connectivity,
+    random_fault_experiment,
+)
+
+
+def main() -> None:
+    nucleus = networks.hypercube_nucleus(2)
+    cases = [
+        networks.hsn(2, nucleus),                     # plain HSN, 16 nodes
+        networks.symmetric_hsn(2, nucleus),           # symmetric, 32 nodes
+        networks.hypercube(5),                        # 32 nodes
+        networks.ring(32),
+        networks.cube_connected_cycles(3),            # 24 nodes, 3-regular
+    ]
+
+    rows = []
+    for g in cases:
+        rng = np.random.default_rng(11)
+        rep = random_fault_experiment(g, faults=2, trials=40, rng=rng)
+        rows.append(
+            {
+                "network": g.name,
+                "N": g.num_nodes,
+                "min deg": g.min_degree,
+                "connectivity": node_connectivity(g),
+                "max fault tol.": is_maximally_fault_tolerant(g),
+                "P(connected | 2 faults)": round(rep.connected_fraction, 2),
+                "mean surviving diam": round(rep.mean_surviving_diameter, 1),
+            }
+        )
+    print(render_table(rows))
+    print()
+    print("Readings:")
+    print(" * every vertex-symmetric network here is maximally fault tolerant")
+    print("   (connectivity = degree); the plain HSN is limited by its")
+    print("   irregular diagonal nodes, one argument for the symmetric seeds")
+    print("   of Section 3.5.")
+
+
+if __name__ == "__main__":
+    main()

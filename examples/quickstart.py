@@ -1,0 +1,64 @@
+"""Quickstart: build IP graphs, inspect them, and check the paper's theory.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import metrics, networks
+from repro.core import (
+    SuperGeneratorSet,
+    build_ip_graph,
+    build_super_ip_graph,
+    diameter_formula,
+)
+from repro.core.permutation import cyclic_shift_left, from_cycles
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. An IP graph from scratch: the paper's Section-2 example.
+    #    Seed 123123 (repeated symbols!) + three index permutations.
+    # ------------------------------------------------------------------
+    seed = (1, 2, 3, 1, 2, 3)
+    generators = [
+        from_cycles(6, [(1, 2)], one_based=True),  # swap positions 1,2
+        from_cycles(6, [(1, 3)], one_based=True),  # swap positions 1,3
+        cyclic_shift_left(6, 3),                   # rotate halves: 456123
+    ]
+    g = build_ip_graph(seed, generators, name="paper-example")
+    print(f"{g.name}: {g.num_nodes} nodes (paper says 36), "
+          f"max degree {g.max_degree}, diameter {metrics.diameter(g)}")
+
+    # ------------------------------------------------------------------
+    # 2. A hierarchical swap network and its theory.
+    #    HSN(2, Q3) is HCN(3,3) without diameter links.
+    # ------------------------------------------------------------------
+    nucleus = networks.hypercube_nucleus(3)
+    sgs = SuperGeneratorSet.transpositions(2)
+    hsn = build_super_ip_graph(nucleus, sgs)
+    measured = metrics.diameter(hsn)
+    predicted = diameter_formula(nucleus.diameter(), sgs)
+    print(f"{hsn.name}: N={hsn.num_nodes}, diameter measured={measured} "
+          f"formula(l*D_G+t)={predicted}")
+
+    # ------------------------------------------------------------------
+    # 3. Hierarchical (inter-cluster) metrics: one nucleus per module.
+    # ------------------------------------------------------------------
+    modules = metrics.nucleus_modules(hsn)
+    summary = metrics.intercluster_summary(modules)
+    print(f"modules: {summary.num_modules} x {summary.max_module_size} nodes; "
+          f"I-degree={summary.i_degree:.3f}, I-diameter={summary.i_diameter}, "
+          f"avg I-distance={summary.avg_i_distance:.3f}")
+
+    # ------------------------------------------------------------------
+    # 4. Compare against a same-size hypercube on the paper's costs.
+    # ------------------------------------------------------------------
+    q6 = networks.hypercube(6)
+    q6_modules = metrics.subcube_modules(q6, 3)
+    for net, ma in ((hsn, modules), (q6, q6_modules)):
+        c = metrics.measure_costs(net, ma)
+        print(f"{net.name:12s} DD={c.dd_cost:5.1f} ID={c.id_cost:6.2f} "
+              f"II={c.ii_cost:5.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Regenerate every table/figure of the paper's evaluation to stdout.
+
+This is the one-shot reproduction driver: Figure 2 (DD-cost), Figure 3
+(average I-distance / I-diameter), Figures 4-5 (ID-/II-cost), and the
+Section 5.3 off-module-link table, each as a plain-text table.
+
+Run:  python examples/reproduce_figures.py          (~1 minute)
+      python examples/reproduce_figures.py --fast   (skip the measured pass)
+"""
+
+import sys
+
+from repro.analysis import (
+    fig2_dd_cost,
+    fig3_intercluster,
+    fig3_intercluster_measured,
+    fig4_id_cost,
+    fig5_ii_cost,
+    render_table,
+    sec53_offmodule_table,
+)
+
+
+def show(title, rows, limit=None):
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+    print(render_table(rows[:limit] if limit else rows))
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+
+    rows2 = fig2_dd_cost(24)
+    # show one row per family around N = 2^16 to keep the dump readable
+    import math
+
+    families = sorted({r["network"] for r in rows2})
+    near = [
+        min(
+            (r for r in rows2 if r["network"] == f),
+            key=lambda r: abs(math.log2(r["N"]) - 16),
+        )
+        for f in families
+    ]
+    near.sort(key=lambda r: r["DD-cost"])
+    show("Figure 2 — DD-cost (degree x diameter), closest point to N = 65536", near)
+
+    show("Figure 3 — I-metrics (closed-form / quotient-exact), <=24 procs/module",
+         fig3_intercluster(4))
+    if not fast:
+        show("Figure 3 — I-metrics measured exhaustively on buildable sizes",
+             fig3_intercluster_measured())
+
+    rows4 = fig4_id_cost(24)
+    near4 = [
+        min(
+            (r for r in rows4 if r["network"] == f),
+            key=lambda r: abs(math.log2(r["N"]) - 16),
+        )
+        for f in sorted({r["network"] for r in rows4})
+    ]
+    near4.sort(key=lambda r: (r["ID-cost"] is None, r["ID-cost"]))
+    show("Figure 4 — ID-cost (I-degree x diameter), closest point to N = 65536", near4)
+
+    rows5 = fig5_ii_cost(24)
+    near5 = [
+        min(
+            (r for r in rows5 if r["network"] == f),
+            key=lambda r: abs(math.log2(r["N"]) - 16),
+        )
+        for f in sorted({r["network"] for r in rows5})
+    ]
+    near5.sort(key=lambda r: r["II-cost"])
+    show("Figure 5 — II-cost (I-degree x I-diameter), closest point to N = 65536", near5)
+
+    if not fast:
+        show("Section 5.3 — max off-module links per node vs the paper's values",
+             sec53_offmodule_table())
+
+
+if __name__ == "__main__":
+    main()

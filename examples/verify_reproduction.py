@@ -1,0 +1,154 @@
+"""One-shot reproduction report: every headline claim, PASS/FAIL.
+
+Runs a curated battery of the paper's quantitative claims (the same ones
+the test suite asserts) and prints a human-readable report.  Useful as a
+quick integrity check after installation:
+
+    python examples/verify_reproduction.py
+"""
+
+import math
+import traceback
+
+import numpy as np
+
+
+def claims():
+    from repro import metrics as mt
+    from repro import networks as nw
+    from repro.core.superip import (
+        SuperGeneratorSet,
+        build_super_ip_graph,
+        diameter_formula,
+        min_supergen_steps,
+        super_ip_size,
+    )
+
+    nucleus = nw.hypercube_nucleus(2)
+
+    def thm32():
+        g = nw.hsn_hypercube(3, 2)
+        return g.num_nodes == super_ip_size(4, 3) == 64
+
+    def t_equals_l_minus_1():
+        return all(
+            min_supergen_steps(f(l)) == l - 1
+            for l in (2, 3, 4)
+            for f in (
+                SuperGeneratorSet.transpositions,
+                SuperGeneratorSet.ring,
+                SuperGeneratorSet.complete_shifts,
+                SuperGeneratorSet.flips,
+            )
+        )
+
+    def thm41():
+        sgs = SuperGeneratorSet.transpositions(3)
+        g = build_super_ip_graph(nucleus, sgs)
+        return mt.diameter(g) == diameter_formula(nucleus.diameter(), sgs) == 8
+
+    def hcn_equivalence():
+        import networkx as nx
+
+        return nx.is_isomorphic(
+            nw.hsn_hypercube(2, 2).to_networkx(),
+            nw.hcn(2, diameter_links=False).to_networkx(),
+        )
+
+    def paper_example():
+        return nw.paper_example_36().num_nodes == 36
+
+    def symmetric_sizes():
+        a = build_super_ip_graph(nucleus, SuperGeneratorSet.transpositions(3), symmetric=True)
+        b = build_super_ip_graph(nucleus, SuperGeneratorSet.ring(3), symmetric=True)
+        return a.num_nodes == 6 * 64 and b.num_nodes == 3 * 64
+
+    def symmetric_regular():
+        g = nw.symmetric_hsn(2, nucleus)
+        return g.is_regular() and mt.looks_vertex_transitive(g)
+
+    def sec53():
+        vals = []
+        for l in (2, 3, 4):
+            g = nw.hsn_hypercube(l, 2)
+            vals.append(int(mt.offmodule_links_per_node(mt.nucleus_modules(g)).max()))
+        return vals == [1, 2, 3]
+
+    def dilation3():
+        from repro.embed import hypercube_into_hsn
+
+        return hypercube_into_hsn(2, 3).report().dilation == 3
+
+    def router_bound():
+        from repro.routing import SuperIPRouter
+
+        sgs = SuperGeneratorSet.transpositions(2)
+        g = build_super_ip_graph(nucleus, sgs)
+        r = SuperIPRouter(nucleus, sgs)
+        return r.max_route_length() == mt.diameter(g)
+
+    def ii_cost_win():
+        h = nw.hsn_hypercube(3, 2)
+        q = nw.hypercube(6)
+        hs = mt.intercluster_summary(mt.nucleus_modules(h))
+        qs = mt.intercluster_summary(mt.subcube_modules(q, 2))
+        return hs.i_degree * hs.i_diameter < qs.i_degree * qs.i_diameter
+
+    def sim_latency_ordering():
+        from repro.sim import PacketSimulator, on_off_module_delay, uniform_random
+
+        results = {}
+        for g, cluster in [
+            (nw.hypercube(6), lambda g: mt.subcube_modules(g, 3)),
+            (nw.hsn_hypercube(2, 3), mt.nucleus_modules),
+        ]:
+            ma = cluster(g)
+            rng = np.random.default_rng(0)
+            sim = PacketSimulator(g, delays=on_off_module_delay(g, ma, off_factor=10))
+            results[g.name] = sim.run(uniform_random(g, 0.01, 300, rng)).mean_latency
+        return results["HSN(2,Q3)"] < results["Q6"]
+
+    def rhsn_recursion():
+        g = nw.rhsn([2, 2], nw.hypercube_nucleus(1))
+        return g.num_nodes == 16 and mt.diameter(g) == 7
+
+    return [
+        ("Theorem 3.2: N = M^l", thm32),
+        ("t = l−1 for all Section-3 families", t_equals_l_minus_1),
+        ("Theorem 4.1: diameter = l·D_G + t (BFS-exact)", thm41),
+        ("HCN(n,n) w/o diameter links ≅ HSN(2,Q_n)", hcn_equivalence),
+        ("Section-2 worked example: 36 nodes", paper_example),
+        ("Symmetric sizes: l!·M^l (HSN), l·M^l (CN)", symmetric_sizes),
+        ("Symmetric variants regular + vertex-symmetric", symmetric_regular),
+        ("§5.3 off-module links: HSN = l−1", sec53),
+        ("Dilation-3 hypercube embedding in HSN", dilation3),
+        ("Sorting router bound = exact diameter", router_bound),
+        ("II-cost: HSN beats equal-size hypercube", ii_cost_win),
+        ("Simulated latency ordering (slow off-module links)", sim_latency_ordering),
+        ("RHSN recursion: D_{k+1} = 2 D_k + 1", rhsn_recursion),
+    ]
+
+
+def main() -> int:
+    rows = []
+    failures = 0
+    for name, fn in claims():
+        try:
+            ok = bool(fn())
+        except Exception:
+            traceback.print_exc()
+            ok = False
+        failures += not ok
+        rows.append((name, ok))
+    width = max(len(n) for n, _ in rows)
+    print("Reproduction report — Yeh & Parhami, ICPP 1999")
+    print("=" * (width + 10))
+    for name, ok in rows:
+        print(f"{name.ljust(width)}  {'PASS' if ok else 'FAIL'}")
+    print("=" * (width + 10))
+    print(f"{len(rows) - failures}/{len(rows)} claims verified")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

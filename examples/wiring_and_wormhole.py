@@ -1,0 +1,86 @@
+"""Physical-design view: VLSI wiring and cut-through switching.
+
+Two §5 'implementation issues' in one example:
+
+1. the recursive grid layout (reference [31]) — lay an HSN and an
+   equal-size hypercube on a grid and compare wire-length profiles;
+2. wormhole/cut-through switching — long messages over slow off-module
+   links, where latency tracks the inter-cluster degree.
+
+Run:  python examples/wiring_and_wormhole.py
+"""
+
+import numpy as np
+
+from repro import metrics, networks
+from repro.analysis.report import render_table
+from repro.layout import recursive_module_layout, row_major_layout
+from repro.sim import uniform_random, unit_offmodule_capacity
+from repro.sim.wormhole import WormholeSimulator
+
+
+def wiring_comparison() -> list[dict]:
+    rows = []
+    for g, cluster in [
+        (networks.hsn_hypercube(2, 4), metrics.nucleus_modules),
+        (networks.hypercube(8), lambda g: metrics.subcube_modules(g, 4)),
+    ]:
+        ma = cluster(g)
+        rows.append(
+            {
+                "network": g.name,
+                **{
+                    f"{k} (naive)": v
+                    for k, v in row_major_layout(g).summary().items()
+                    if k in ("total wire", "max wire", "congestion")
+                },
+                **{
+                    f"{k} (recursive)": v
+                    for k, v in recursive_module_layout(g, ma).summary().items()
+                    if k in ("total wire", "max wire", "congestion")
+                },
+            }
+        )
+    return rows
+
+
+def wormhole_comparison(length: int = 32) -> list[dict]:
+    rows = []
+    for g, cluster in [
+        (networks.hsn_hypercube(2, 3), metrics.nucleus_modules),
+        (networks.hypercube(6), lambda g: metrics.subcube_modules(g, 3)),
+    ]:
+        ma = cluster(g)
+        s = metrics.intercluster_summary(ma)
+        sim = WormholeSimulator(
+            g,
+            delays=unit_offmodule_capacity(g, ma, off_scale=4),
+            module_of=ma.module_of,
+        )
+        rng = np.random.default_rng(3)
+        stats = sim.run(uniform_random(g, 0.005, 400, rng), length=length)
+        rows.append(
+            {
+                "network": g.name,
+                "I-degree": round(s.i_degree, 3),
+                f"latency ({length}-flit)": round(stats.mean_latency, 1),
+                "mean off-hops": round(stats.mean_off_hops, 2),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print("=== Recursive grid layout: wiring (N = 256) ===")
+    print(render_table(wiring_comparison()))
+    print()
+    print("=== Cut-through switching: long messages, slow off-module links ===")
+    print(render_table(wormhole_comparison()))
+    print()
+    print("Readings: the hierarchical network wires shorter and, with")
+    print("messages long enough for serialization to dominate, its small")
+    print("inter-cluster degree turns directly into lower latency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""Command-line interface: inspect networks and regenerate paper figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro info hsn --param l=2 --param n=3 [--modules nucleus]
+    python -m repro figure 2|3|4|5|53
+    python -m repro summary --size 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _parse_params(items: list[str]) -> dict:
+    out: dict = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(f"--param expects key=value, got {item!r}")
+        k, v = item.split("=", 1)
+        try:
+            out[k] = int(v)
+        except ValueError:
+            if v.lower() in ("true", "false"):
+                out[k] = v.lower() == "true"
+            else:
+                out[k] = v
+    return out
+
+
+def cmd_list(_args) -> int:
+    from repro.networks import available
+
+    for name in available():
+        print(name)
+    return 0
+
+
+def cmd_info(args) -> int:
+    from repro import metrics
+    from repro.analysis.report import render_table
+    from repro.networks import build
+
+    g = build(args.network, **_parse_params(args.param))
+    row = {
+        "network": g.name,
+        "N": g.num_nodes,
+        "edges": g.num_edges(),
+        "degree(max)": g.max_degree,
+        "degree(min)": g.min_degree,
+        "regular": g.is_regular(),
+    }
+    if g.num_nodes <= args.max_metric_nodes:
+        s = metrics.distance_summary(g)
+        row["diameter"] = s.diameter
+        row["avg distance"] = round(s.average, 3)
+        if args.modules == "nucleus":
+            try:
+                ma = metrics.nucleus_modules(g)
+                ic = metrics.intercluster_summary(ma)
+                row["I-degree"] = round(ic.i_degree, 3)
+                row["I-diameter"] = ic.i_diameter
+                row["avg I-dist"] = round(ic.avg_i_distance, 3)
+            except (ValueError, AttributeError):
+                pass
+    print(render_table([row]))
+    return 0
+
+
+def cmd_summary(args) -> int:
+    from repro.analysis import grand_comparison, render_table
+
+    rows = grand_comparison(args.size, module_cap=args.module_cap)
+    print(render_table(rows))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.analysis import (
+        fig2_dd_cost,
+        fig3_intercluster,
+        fig4_id_cost,
+        fig5_ii_cost,
+        render_table,
+        sec53_offmodule_table,
+    )
+
+    fig = args.id
+    if fig == "2":
+        rows = fig2_dd_cost(args.max_log2)
+    elif fig == "3":
+        rows = fig3_intercluster()
+    elif fig == "4":
+        rows = fig4_id_cost(args.max_log2)
+    elif fig == "5":
+        rows = fig5_ii_cost(args.max_log2)
+    elif fig == "53":
+        rows = sec53_offmodule_table()
+    else:
+        raise SystemExit(f"unknown figure {fig!r}; choose 2, 3, 4, 5 or 53")
+    print(render_table(rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Index-permutation graph model toolkit"
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("list", help="list registered network families")
+
+    p_info = sub.add_parser("info", help="build a network and print its metrics")
+    p_info.add_argument("network", help="registry name (see `repro list`)")
+    p_info.add_argument("--param", action="append", default=[], metavar="K=V")
+    p_info.add_argument("--modules", choices=["none", "nucleus"], default="nucleus")
+    p_info.add_argument("--max-metric-nodes", type=int, default=20000)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    p_fig.add_argument("id", help="2, 3, 4, 5 or 53 (Section 5.3 table)")
+    p_fig.add_argument("--max-log2", type=int, default=20)
+
+    p_sum = sub.add_parser("summary", help="grand comparison of every family")
+    p_sum.add_argument("--size", type=int, default=256)
+    p_sum.add_argument("--module-cap", type=int, default=16)
+
+    args = parser.parse_args(argv)
+    return {
+        "list": cmd_list,
+        "info": cmd_info,
+        "figure": cmd_figure,
+        "summary": cmd_summary,
+    }[args.cmd](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

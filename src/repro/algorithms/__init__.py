@@ -1,0 +1,33 @@
+"""Algorithms on interconnection networks: collectives and emulation."""
+
+from .collectives import (
+    Schedule,
+    all_to_all_personalized_lower_bound,
+    broadcast_schedule,
+    reduce_schedule,
+    schedule_makespan,
+    schedule_traffic_split,
+)
+from .alltoall import (
+    all_to_all_cost_on_hsn,
+    all_to_all_cost_on_hypercube,
+    hypercube_all_to_all_rounds,
+)
+from .emulation import HypercubeEmulator, ascend_sum, bitonic_sort
+from .hierarchical import hierarchical_broadcast_schedule
+
+__all__ = [
+    "all_to_all_cost_on_hsn",
+    "all_to_all_cost_on_hypercube",
+    "all_to_all_personalized_lower_bound",
+    "ascend_sum",
+    "bitonic_sort",
+    "broadcast_schedule",
+    "hierarchical_broadcast_schedule",
+    "HypercubeEmulator",
+    "hypercube_all_to_all_rounds",
+    "reduce_schedule",
+    "schedule_makespan",
+    "Schedule",
+    "schedule_traffic_split",
+]

@@ -1,0 +1,166 @@
+"""Module-aware (hierarchical) collectives for super-IP graphs.
+
+The paper's efficiency argument is that algorithms on super-IP graphs keep
+their data movement inside modules.  The generic BFS broadcast of
+:mod:`repro.algorithms.collectives` ignores module structure; this module
+implements the two-phase hierarchical broadcast that exploits it:
+
+1. **inter-module phase**: the message reaches one representative node per
+   module along a spanning tree of the module quotient graph, using
+   exactly ``#modules − 1`` off-module messages (the minimum possible);
+2. **intra-module phase**: all modules broadcast internally in parallel.
+
+The result is a valid single-port schedule whose off-module message count
+is optimal, demonstrating the §5 claim quantitatively against the generic
+broadcast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.metrics.clustering import ModuleAssignment
+
+from .collectives import Round, Schedule
+
+__all__ = ["hierarchical_broadcast_schedule"]
+
+
+def _intra_module_bfs_tree(net: Network, members: np.ndarray, root: int):
+    """Children lists of a BFS tree inside one module."""
+    member_set = set(int(m) for m in members)
+    csr = net.adjacency_csr()
+    children: dict[int, list[int]] = {int(m): [] for m in members}
+    seen = {root}
+    order = [root]
+    dq = deque([root])
+    while dq:
+        u = dq.popleft()
+        for v in csr.indices[csr.indptr[u] : csr.indptr[u + 1]]:
+            v = int(v)
+            if v in member_set and v not in seen:
+                seen.add(v)
+                children[u].append(v)
+                order.append(v)
+                dq.append(v)
+    if len(seen) != len(member_set):
+        raise ValueError("module is not internally connected")
+    return children, order
+
+
+def hierarchical_broadcast_schedule(
+    net: Network, assignment: ModuleAssignment, root: int = 0
+) -> Schedule:
+    """Two-phase broadcast with minimum off-module traffic.
+
+    Returns a single-port schedule delivering the message from ``root`` to
+    every node, crossing module boundaries exactly ``#modules − 1`` times.
+    """
+    mod = assignment.module_of
+    csr = net.adjacency_csr()
+    n = net.num_nodes
+
+    # --- inter-module spanning tree over actual boundary edges ----------
+    # BFS over modules; for each newly reached module remember the concrete
+    # boundary edge (u in known module, v in new module) used to enter it.
+    root_mod = int(mod[root])
+    entry = {root_mod: root}  # module -> its representative node
+    entry_edge: dict[int, tuple[int, int]] = {}
+    mod_parent: dict[int, int] = {}
+    # node-level BFS from root, recording first entry into each module
+    seen = np.zeros(n, dtype=bool)
+    seen[root] = True
+    dq = deque([root])
+    while dq:
+        u = dq.popleft()
+        for v in csr.indices[csr.indptr[u] : csr.indptr[u + 1]]:
+            v = int(v)
+            if seen[v]:
+                continue
+            seen[v] = True
+            mv = int(mod[v])
+            if mv not in entry:
+                entry[mv] = v
+                entry_edge[mv] = (u, v)
+                mod_parent[mv] = int(mod[u])
+            dq.append(v)
+    if len(entry) != assignment.num_modules:
+        raise ValueError("network is disconnected")
+
+    # The inter-module tree in topological (BFS) order of modules.
+    mod_order = sorted(entry, key=lambda m: 0 if m == root_mod else 1)
+    # we need modules ordered so parents come first; redo a BFS over the
+    # module tree explicitly
+    kids: dict[int, list[int]] = {m: [] for m in entry}
+    for m, p in mod_parent.items():
+        kids[p].append(m)
+    mod_order = []
+    mq = deque([root_mod])
+    while mq:
+        m = mq.popleft()
+        mod_order.append(m)
+        mq.extend(kids[m])
+
+    # --- build per-module intra trees rooted at each representative -----
+    intra: dict[int, tuple[dict[int, list[int]], list[int]]] = {}
+    for m in mod_order:
+        members = assignment.members(m)
+        intra[m] = _intra_module_bfs_tree(net, members, entry[m])
+
+    # --- assemble the schedule ------------------------------------------
+    # Holder state: which nodes have the message.  In each round every
+    # holder may send one message; priorities: (a) the boundary edge into a
+    # not-yet-entered child module whose source node holds the message,
+    # (b) intra-module tree children.
+    has = np.zeros(n, dtype=bool)
+    has[root] = True
+    pending_intra: dict[int, deque[int]] = {}
+    for m in mod_order:
+        children, order = intra[m]
+        for u in order:
+            pending_intra[u] = deque(children[u])
+    pending_entry: dict[int, list[tuple[int, int]]] = {}
+    for m, (u, v) in entry_edge.items():
+        pending_entry.setdefault(u, []).append((u, v))
+
+    rounds: list[Round] = []
+    remaining = n - 1
+    while remaining > 0:
+        rnd: Round = []
+        newly: list[int] = []
+        busy: set[int] = set()
+        for u in np.nonzero(has)[0]:
+            u = int(u)
+            if u in busy:
+                continue
+            # entry edges first: they unlock whole modules
+            sent = False
+            for pair in pending_entry.get(u, []):
+                _, v = pair
+                if not has[v]:
+                    rnd.append((u, v))
+                    newly.append(v)
+                    busy.add(u)
+                    pending_entry[u].remove(pair)
+                    sent = True
+                    break
+            if sent:
+                continue
+            q = pending_intra.get(u)
+            while q:
+                v = q.popleft()
+                if not has[v]:
+                    rnd.append((u, v))
+                    newly.append(v)
+                    busy.add(u)
+                    break
+        if not rnd:
+            raise RuntimeError("hierarchical broadcast stalled")
+        for v in newly:
+            has[v] = True
+        remaining -= len(newly)
+        rounds.append(rnd)
+    return Schedule(rounds, name=f"hier-broadcast({net.name})")

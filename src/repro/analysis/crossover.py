@@ -1,0 +1,87 @@
+"""Crossover analysis: at what size does one family overtake another?
+
+The reproduction standard for the paper's figures is *shape*: who wins, by
+what factor, and **where the crossovers fall**.  This module locates those
+crossover points in any figure data series (lists of row dicts with an
+``N`` column and a metric column), and is used by EXPERIMENTS.md and the
+figure tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["series_of", "crossover_size", "dominance_factor"]
+
+
+def series_of(rows: Sequence[dict], family: str, metric: str) -> list[tuple[int, float]]:
+    """Sorted ``(N, value)`` series for one family (exact name match)."""
+    pts = [
+        (r["N"], float(r[metric]))
+        for r in rows
+        if r["network"] == family and r.get(metric) is not None
+    ]
+    pts.sort()
+    if not pts:
+        raise KeyError(f"no rows for family {family!r} with metric {metric!r}")
+    return pts
+
+
+def _interp(series: list[tuple[int, float]], n: float) -> float:
+    """Piecewise log-linear interpolation of a series at size ``n``."""
+    xs = [math.log2(p[0]) for p in series]
+    ys = [p[1] for p in series]
+    x = math.log2(n)
+    if x <= xs[0]:
+        return ys[0]
+    if x >= xs[-1]:
+        return ys[-1]
+    for i in range(1, len(xs)):
+        if x <= xs[i]:
+            f = (x - xs[i - 1]) / (xs[i] - xs[i - 1])
+            return ys[i - 1] + f * (ys[i] - ys[i - 1])
+    return ys[-1]  # pragma: no cover
+
+
+def crossover_size(
+    rows: Sequence[dict], family_a: str, family_b: str, metric: str
+) -> float | None:
+    """Smallest size (log-interpolated) where ``family_a``'s metric drops
+    below ``family_b``'s, or ``None`` if no crossover occurs in range.
+
+    Returns the common-range size at which the sign of
+    ``a(N) − b(N)`` first flips; if ``a`` is already below at the start of
+    the overlap, returns that starting size.
+    """
+    sa = series_of(rows, family_a, metric)
+    sb = series_of(rows, family_b, metric)
+    lo = max(sa[0][0], sb[0][0])
+    hi = min(sa[-1][0], sb[-1][0])
+    if lo > hi:
+        return None
+    # scan a log grid of the overlap
+    steps = 64
+    prev_n = None
+    prev_diff = None
+    for i in range(steps + 1):
+        n = lo * (hi / lo) ** (i / steps)
+        diff = _interp(sa, n) - _interp(sb, n)
+        if diff < 0 and prev_diff is None:
+            return float(lo)
+        if prev_diff is not None and prev_diff >= 0 and diff < 0:
+            return float(n)
+        prev_n, prev_diff = n, diff
+    return None
+
+
+def dominance_factor(
+    rows: Sequence[dict], family_a: str, family_b: str, metric: str, n: int
+) -> float:
+    """``b(N) / a(N)`` at size ``N`` — how many times better family_a is."""
+    sa = series_of(rows, family_a, metric)
+    sb = series_of(rows, family_b, metric)
+    a = _interp(sa, n)
+    if a == 0:
+        return math.inf
+    return _interp(sb, n) / a

@@ -1,0 +1,323 @@
+"""Regeneration of the paper's evaluation figures and tables.
+
+Each ``fig*`` function returns the data series behind one figure of the
+paper as a list of row dicts, ready for :func:`repro.analysis.report.render_table`.
+Closed-form points come from :mod:`repro.analysis.formulas` (validated
+against BFS in the test suite); ``*_measured`` companions recompute the
+buildable sizes exhaustively so the two can be compared side by side in
+EXPERIMENTS.md.
+
+Figure inventory (Section 5):
+
+* **Fig. 2** — DD-cost (degree × diameter) for rings, tori, hypercubes,
+  star graphs, CCC, de Bruijn, shuffle-exchange and the super-IP families;
+* **Fig. 3** — (a) average I-distance and (b) I-diameter, ≤ 24
+  processors/module, for HCN(n,n), CN(l,Q₄), HSN(l,Q₄), QCN(l,Q₇/Q₃);
+* **Fig. 4** — ID-cost (I-degree × diameter), ≤ 16 nodes/module;
+* **Fig. 5** — II-cost (I-degree × I-diameter), ≤ 16 nodes/module;
+* **§5.3 table** — maximum off-module links per node for the canonical
+  partitionings.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.superip import SuperGeneratorSet
+
+from .formulas import (
+    FamilyPoint,
+    ccc_point,
+    cyclic_petersen_point,
+    complete_cn_point,
+    debruijn_point,
+    folded_hypercube_point,
+    hcn_point,
+    hsn_point,
+    hypercube_point,
+    ring_cn_point,
+    ring_point,
+    shuffle_exchange_point,
+    star_point,
+    superip_point,
+    super_flip_point,
+    torus_point,
+)
+
+__all__ = [
+    "fig2_dd_cost",
+    "fig3_intercluster",
+    "fig3_intercluster_measured",
+    "fig4_id_cost",
+    "fig5_ii_cost",
+    "sec53_offmodule_table",
+    "dd_row",
+]
+
+
+def dd_row(pt: FamilyPoint) -> dict:
+    """Figure-2 style row for one family point."""
+    return {
+        "network": pt.family,
+        "N": pt.num_nodes,
+        "log2N": round(pt.log2_n, 2),
+        "degree": pt.degree,
+        "diameter": pt.diameter,
+        "DD-cost": pt.dd_cost,
+    }
+
+
+def _i_row(pt: FamilyPoint) -> dict:
+    return {
+        "network": pt.family,
+        "N": pt.num_nodes,
+        "log2N": round(pt.log2_n, 2),
+        "module": pt.module_size,
+        "I-degree": None if pt.i_degree is None else round(pt.i_degree, 3),
+        "I-diameter": pt.i_diameter,
+        "avg I-dist": None if pt.avg_i_distance is None else round(pt.avg_i_distance, 3),
+        "ID-cost": None if pt.id_cost is None else round(pt.id_cost, 2),
+        "II-cost": None if pt.ii_cost is None else round(pt.ii_cost, 2),
+        "exact": pt.exact,
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — DD-cost
+# ----------------------------------------------------------------------
+def fig2_dd_cost(max_log2: int = 24) -> list[dict]:
+    """DD-cost sweep for the Figure-2 network families up to ``2^max_log2``
+    nodes (closed forms only — no graphs are built)."""
+    rows: list[FamilyPoint] = []
+    # rings and tori
+    for j in range(4, max_log2 + 1, 2):
+        rows.append(ring_point(1 << j))
+    for k in (4, 8, 16, 32, 64, 128, 256, 512, 1024):
+        if 2 * math.log2(k) <= max_log2:
+            rows.append(torus_point(k, 2))
+    for k in (4, 8, 16, 32, 64, 128):
+        if 3 * math.log2(k) <= max_log2:
+            rows.append(torus_point(k, 3))
+    # hypercube family
+    for n in range(4, max_log2 + 1):
+        rows.append(hypercube_point(n))
+        rows.append(folded_hypercube_point(n))
+    # star graphs
+    n = 3
+    while math.factorial(n) <= 2**max_log2:
+        rows.append(star_point(n))
+        n += 1
+    # constant-degree baselines
+    for n in range(4, max_log2 + 1):
+        rows.append(debruijn_point(n))
+        rows.append(shuffle_exchange_point(n))
+        if n + math.log2(n) <= max_log2:
+            rows.append(ccc_point(n))
+    # super-IP families over Q4 / FQ4 nuclei (M = 16)
+    for l in range(2, max_log2 // 4 + 1):
+        rows.append(hsn_point(l, 16, 4, 4, "Q4", include_i=False))
+        rows.append(ring_cn_point(l, 16, 4, 4, "Q4", include_i=False))
+        rows.append(complete_cn_point(l, 16, 4, 4, "Q4", include_i=False))
+        rows.append(super_flip_point(l, 16, 4, 4, "Q4", include_i=False))
+        rows.append(ring_cn_point(l, 16, 5, 2, "FQ4", include_i=False))
+        rows.append(cyclic_petersen_point(l, include_i=False))
+    # HCN(n,n) without diameter links
+    for n in range(2, max_log2 // 2 + 1):
+        rows.append(hcn_point(n, include_i=False))
+    rows = [r for r in rows if r.num_nodes <= 2**max_log2]
+    rows.sort(key=lambda r: (r.family, r.num_nodes))
+    return [dd_row(r) for r in rows]
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — average I-distance and I-diameter (≤ 24 processors / module)
+# ----------------------------------------------------------------------
+def fig3_intercluster(max_l: int = 4) -> list[dict]:
+    """Closed-form/quotient-exact Figure-3 points for the super-IP series.
+
+    Modules are nucleus copies (Q₄ → 16 ≤ 24 processors).  HCN(n, n) with
+    n > 4 exceeds the cap and is handled in the measured variant (the
+    nucleus must be sub-partitioned, which needs the built graph).
+    """
+    rows: list[FamilyPoint] = []
+    for l in range(2, max_l + 1):
+        rows.append(hsn_point(l, 16, 4, 4, "Q4"))
+        rows.append(ring_cn_point(l, 16, 4, 4, "Q4"))
+        rows.append(complete_cn_point(l, 16, 4, 4, "Q4"))
+    for n in (2, 3, 4):  # nucleus fits the 24-processor cap
+        rows.append(hcn_point(n))
+    rows.sort(key=lambda r: (r.family, r.num_nodes))
+    return [_i_row(r) for r in rows]
+
+
+def fig3_intercluster_measured(
+    processors_per_module: int = 24, max_nodes: int = 70_000
+) -> list[dict]:
+    """Exhaustively measured Figure-3 points on buildable sizes, including
+    HCN(n, n) with sub-partitioned nuclei and QCN(l, Q₇/Q₃).
+
+    This is the ground-truth companion of :func:`fig3_intercluster`.
+    """
+    from repro import metrics as mt
+    from repro import networks as nw
+
+    rows: list[dict] = []
+
+    def add(net, assignment, procs_per_node: int = 1):
+        s = mt.intercluster_summary(assignment)
+        # multi-processor nodes (quotient networks) share their router's
+        # links, so the per-processor I-degree divides by the node size
+        i_deg = s.i_degree / procs_per_node
+        rows.append(
+            {
+                "network": net.name,
+                "N": net.num_nodes * procs_per_node,
+                "log2N": round(math.log2(net.num_nodes * procs_per_node), 2),
+                "module": s.max_module_size * procs_per_node,
+                "I-degree": round(i_deg, 3),
+                "I-diameter": s.i_diameter,
+                "avg I-dist": round(s.avg_i_distance, 3),
+                "ID-cost": None,
+                "II-cost": round(i_deg * s.i_diameter, 2),
+                "exact": True,
+            }
+        )
+
+    cap = processors_per_module
+    # HCN(n,n) = HSN(2, Q_n); sub-partition nuclei larger than the cap
+    for n in (2, 3, 4, 5, 6):
+        if 4**n > max_nodes:
+            break
+        g = nw.hsn_hypercube(2, n)
+        g.name = f"HCN({n},{n})"
+        ma = mt.nucleus_modules(g)
+        if ma.max_module_size > cap:
+            ma = mt.split_modules(ma, 1 << int(math.log2(cap)))
+        add(g, ma)
+    # HSN(l, Q4) and CN(l, Q4)
+    for l in (2, 3):
+        if 16**l > max_nodes:
+            break
+        g = nw.hsn_hypercube(l, 4)
+        add(g, mt.nucleus_modules(g))
+        c = nw.ring_cn_hypercube(l, 4)
+        add(c, mt.nucleus_modules(c))
+    # QCN(2, Q7/Q3): quotient nodes host 8 processors each, so modules of 2
+    # quotient nodes (paired along the last remaining front-block dimension)
+    # stay within the 24-processor cap
+    q = nw.qcn(2, 7, 3)
+    ma = mt.modules_by_key(q, lambda lab: (lab[0][:-2],) + tuple(lab[1:]))
+    add(q, ma, procs_per_node=q.procs_per_node)
+    # star-graph baseline with the largest substar fitting the cap
+    import math as _math
+
+    for n in (5, 6):
+        if _math.factorial(n) > max_nodes:
+            break
+        k = max(kk for kk in range(2, n + 1) if _math.factorial(kk) <= cap)
+        s = nw.star_graph(n)
+        ma = mt.modules_by_key(s, lambda lab, _k=k: lab[_k:])
+        add(s, ma)
+    rows.sort(key=lambda r: (r["network"], r["N"]))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 4 & 5 — ID-cost and II-cost (≤ 16 nodes / module)
+# ----------------------------------------------------------------------
+def _fig45_points(max_log2: int = 24) -> list[FamilyPoint]:
+    rows: list[FamilyPoint] = []
+    for n in range(5, max_log2 + 1):
+        rows.append(hypercube_point(n, module_bits=4))
+    for k in (8, 16, 32, 64, 128, 256, 512):
+        if 2 * math.log2(k) <= max_log2:
+            rows.append(torus_point(k, 2, module_side=4))
+    for k in (8, 16, 32, 64):
+        if 3 * math.log2(k) <= max_log2:
+            rows.append(torus_point(k, 3, module_side=2))
+    for l in range(2, max_log2 // 4 + 1):
+        rows.append(hsn_point(l, 16, 4, 4, "Q4"))
+        rows.append(ring_cn_point(l, 16, 4, 4, "Q4"))
+        rows.append(ring_cn_point(l, 16, 5, 2, "FQ4"))
+        rows.append(complete_cn_point(l, 16, 4, 4, "Q4"))
+        rows.append(super_flip_point(l, 16, 4, 4, "Q4"))
+        rows.append(cyclic_petersen_point(l))
+    n = 4
+    while math.factorial(n) <= 2**max_log2:
+        # 3-substar modules (6 nodes ≤ 16); I-diameter measured separately
+        rows.append(star_point(n, module_substar=3))
+        n += 1
+    rows = [r for r in rows if r.num_nodes <= 2**max_log2]
+    rows.sort(key=lambda r: (r.family, r.num_nodes))
+    return rows
+
+
+def fig4_id_cost(max_log2: int = 24) -> list[dict]:
+    """ID-cost sweep (Figure 4)."""
+    out = []
+    for pt in _fig45_points(max_log2):
+        row = _i_row(pt)
+        row["diameter"] = pt.diameter
+        out.append(row)
+    return out
+
+
+def fig5_ii_cost(max_log2: int = 24) -> list[dict]:
+    """II-cost sweep (Figure 5)."""
+    return [_i_row(pt) for pt in _fig45_points(max_log2) if pt.i_diameter is not None]
+
+
+# ----------------------------------------------------------------------
+# §5.3 — off-module links per node
+# ----------------------------------------------------------------------
+def sec53_offmodule_table(max_nodes: int = 70_000) -> list[dict]:
+    """The Section-5.3 comparison: maximum off-module links per node under
+    the canonical partitionings, measured on built instances.
+
+    Expected values (from the paper): ring-CN 1 (l = 2) then 2 (l ≥ 3);
+    HSN / complete-CN / super-flip ``l − 1``; hypercube ``n − c`` with
+    ``2^c``-node modules; star ``n − k`` with k-substar modules;
+    de Bruijn 4.
+    """
+    import numpy as np
+
+    from repro import metrics as mt
+    from repro import networks as nw
+
+    rows: list[dict] = []
+
+    def add(name, net, ma, expected):
+        off = mt.offmodule_links_per_node(ma)
+        rows.append(
+            {
+                "network": name,
+                "N": net.num_nodes,
+                "module": ma.max_module_size,
+                "max off-links/node": int(off.max()),
+                "mean off-links/node": round(float(off.mean()), 3),
+                "paper": expected,
+            }
+        )
+
+    for l in (2, 3, 4, 5):
+        if 4**l > max_nodes:
+            break
+        g = nw.ring_cn_hypercube(l, 2)
+        add(f"ring-CN({l},Q2)", g, mt.nucleus_modules(g), 1 if l == 2 else 2)
+        h = nw.hsn_hypercube(l, 2)
+        add(f"HSN({l},Q2)", h, mt.nucleus_modules(h), l - 1)
+        c = nw.complete_cn(l, nw.hypercube_nucleus(2))
+        add(f"complete-CN({l},Q2)", c, mt.nucleus_modules(c), l - 1)
+        f = nw.super_flip(l, nw.hypercube_nucleus(2))
+        add(f"super-flip({l},Q2)", f, mt.nucleus_modules(f), l - 1)
+    for n, c in ((7, 3), (8, 4)):
+        q = nw.hypercube(n)
+        add(f"Q{n} (Q{c} modules)", q, mt.subcube_modules(q, c), n - c)
+    for n, k in ((5, 3), (6, 3)):
+        s = nw.star_graph(n)
+        ma = mt.modules_by_key(s, lambda lab: lab[k:])
+        add(f"S{n} ({k}-substar modules)", s, ma, n - k)
+    db = nw.debruijn(2, 8)
+    ma = mt.modules_by_key(db, lambda lab: lab[:4])
+    add("dB(2,8) (MSB modules)", db, ma, 4)
+    return rows

@@ -1,0 +1,540 @@
+"""Closed-form topological descriptors for the figure sweeps.
+
+The paper's Figures 2–5 compare networks at sizes up to millions of nodes —
+far beyond what can be materialized.  The authors computed those curves
+from closed-form degree/diameter/I-metric expressions; this module does the
+same, and every expression here is validated against exhaustive BFS on all
+constructible sizes in the test suite (``tests/test_formulas.py``).
+
+Inter-cluster distances for super-IP families use the *module quotient
+graph*: with one nucleus copy per module, the modules of a super-IP graph
+form a graph determined only by the super-generator set and the nucleus
+size ``M`` —
+
+* HSN(l, G): the quotient is the generalized hypercube ``GH(M^{l-1})``
+  (every module neighbors every module differing in one block coordinate),
+  giving I-diameter ``l − 1`` and average I-distance ``(l−1)(1−1/M)``;
+* ring-CN: the quotient is the (bidirectional) de Bruijn graph
+  ``dB(M, l−1)``;
+* any other super-generator set: built explicitly by
+  :func:`supergen_module_quotient`.
+
+This lets us compute *exact* I-metrics for networks of size ``M^l`` while
+only building a graph of size ``M^{l-1}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.core.superip import (
+    SuperGeneratorSet,
+    min_supergen_steps,
+    min_supergen_steps_symmetric,
+    reachable_arrangements,
+)
+
+__all__ = [
+    "FamilyPoint",
+    "supergen_module_quotient",
+    "ring_point",
+    "torus_point",
+    "hypercube_point",
+    "folded_hypercube_point",
+    "star_point",
+    "debruijn_point",
+    "ccc_point",
+    "shuffle_exchange_point",
+    "superip_point",
+    "hsn_point",
+    "ring_cn_point",
+    "complete_cn_point",
+    "super_flip_point",
+    "hcn_point",
+    "cyclic_petersen_point",
+    "symmetric_superip_point",
+    "star_diameter",
+    "ccc_diameter",
+]
+
+
+@dataclass(frozen=True)
+class FamilyPoint:
+    """One network at one size, with every figure-of-merit the paper plots.
+
+    ``i_degree``/``i_diameter``/``avg_i_distance`` may be ``None`` when no
+    module clustering is defined for the family/parameters.
+    """
+
+    family: str
+    num_nodes: int
+    degree: int
+    diameter: int
+    params: dict = field(default_factory=dict, compare=False)
+    i_degree: float | None = None
+    i_diameter: int | None = None
+    avg_i_distance: float | None = None
+    avg_distance: float | None = None
+    module_size: int | None = None
+    exact: bool = True  # False when an I-metric is an approximation
+
+    @property
+    def dd_cost(self) -> int:
+        """Degree × diameter (Fig. 2)."""
+        return self.degree * self.diameter
+
+    @property
+    def id_cost(self) -> float | None:
+        """I-degree × diameter (Fig. 4)."""
+        return None if self.i_degree is None else self.i_degree * self.diameter
+
+    @property
+    def ii_cost(self) -> float | None:
+        """I-degree × I-diameter (Fig. 5)."""
+        if self.i_degree is None or self.i_diameter is None:
+            return None
+        return self.i_degree * self.i_diameter
+
+    @property
+    def log2_n(self) -> float:
+        """log₂ of the network size (the figures' x axis)."""
+        return math.log2(self.num_nodes)
+
+
+# ----------------------------------------------------------------------
+# helper: exact quotient-graph I-metrics for super-IP families
+# ----------------------------------------------------------------------
+def supergen_module_quotient(sgs: SuperGeneratorSet, M: int, max_nodes: int = 300_000) -> Network:
+    """The module quotient graph of a super-IP family.
+
+    Nodes are the module keys (blocks 2..l, i.e. tuples in ``range(M)^{l-1}``);
+    for each super-generator and each possible front-block value the edge to
+    the resulting module is added.  Distances in this graph are exactly the
+    minimum off-module hop counts of the full ``M^l``-node network under the
+    one-nucleus-per-module clustering.
+    """
+    import itertools
+
+    l = sgs.l
+    n_nodes = M ** (l - 1)
+    if n_nodes > max_nodes:
+        raise ValueError(f"quotient too large ({n_nodes} nodes)")
+    labels = list(itertools.product(range(M), repeat=l - 1))
+    # vectorized edge construction: encode module keys as base-M integers
+    idx = np.arange(n_nodes, dtype=np.int64)
+    digits = np.empty((n_nodes, l - 1), dtype=np.int64)
+    for j in range(l - 1):
+        digits[:, j] = (idx // M ** (l - 2 - j)) % M
+    powers = M ** np.arange(l - 2, -1, -1, dtype=np.int64)
+    srcs, dsts = [], []
+    for p in sgs.perms():
+        img = np.asarray(p.img)
+        for f in range(M):
+            full = np.concatenate(
+                [np.full((n_nodes, 1), f, dtype=np.int64), digits], axis=1
+            )
+            new_digits = full[:, img][:, 1:]
+            j = new_digits @ powers
+            keep = j != idx
+            srcs.append(idx[keep])
+            dsts.append(j[keep])
+    src = np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64)
+    return Network(labels, src, dst, name=f"quotient[{sgs.name},M={M}]")
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=256)
+def _quotient_i_metrics(
+    sgs: SuperGeneratorSet, M: int, max_nodes: int = 4096, sample: int = 64
+) -> tuple[int, float, bool]:
+    """(I-diameter, avg I-distance over ordered node pairs, exact?).
+
+    Exact (chunked all-pairs BFS on the quotient) up to ``max_nodes``
+    quotient nodes; beyond that the I-diameter is taken as ``t`` (an upper
+    bound that is tight for all the paper's families) and the average is a
+    ``sample``-source Monte Carlo estimate on the quotient, flagged
+    ``exact=False``.
+    """
+    l = sgs.l
+    N = M**l
+    if sgs.name == "transpositions":
+        # quotient = GH(M, ..., M): closed form
+        i_diam = l - 1
+        # average Hamming distance over module pairs, corrected to ordered
+        # distinct node pairs of the full network
+        avg = (l - 1) * (1 - 1 / M) * N / (N - 1)
+        return i_diam, avg, True
+    from repro.metrics.distances import bfs_distances
+
+    n_nodes = M ** (l - 1)
+    if n_nodes <= max_nodes:
+        q = supergen_module_quotient(sgs, M, max_nodes=max_nodes)
+        # exact: avg over ordered node pairs = (Σ_{A,B} d(A,B) · M²) / (N(N−1))
+        total = 0
+        i_diam = 0
+        for start in range(0, q.num_nodes, 64):
+            d = bfs_distances(q, np.arange(start, min(start + 64, q.num_nodes)))
+            if (d < 0).any():
+                raise ValueError("quotient disconnected")
+            total += int(d.sum())
+            i_diam = max(i_diam, int(d.max()))
+        avg = float(total) * M * M / (N * (N - 1))
+        return i_diam, avg, True
+    t = min_supergen_steps(sgs)
+    if n_nodes <= 500_000:
+        q = supergen_module_quotient(sgs, M, max_nodes=500_000)
+        rng = np.random.default_rng(12345)
+        srcs = rng.choice(q.num_nodes, size=min(sample, q.num_nodes), replace=False)
+        d = bfs_distances(q, srcs)
+        if (d < 0).any():
+            raise ValueError("quotient disconnected")
+        avg = float(d.mean()) * N / (N - 1)
+        return max(t, int(d.max())), avg, False
+    return t, float(t), False
+
+
+# ----------------------------------------------------------------------
+# baseline families
+# ----------------------------------------------------------------------
+def ring_point(n: int, module_size: int | None = None) -> FamilyPoint:
+    """Ring of ``n`` nodes; modules are contiguous arcs."""
+    i_deg = i_diam = avg = ms = None
+    if module_size:
+        ms = min(module_size, n)
+        k = math.ceil(n / ms)  # number of modules
+        i_deg = 2 / ms
+        i_diam = k // 2
+        # average quotient-ring distance over ordered module pairs
+        avg = _ring_avg_distance(k)
+    return FamilyPoint(
+        "ring", n, 2, n // 2, params={"n": n},
+        i_degree=i_deg, i_diameter=i_diam, avg_i_distance=avg, module_size=ms,
+        avg_distance=_ring_avg_distance(n) * n / (n - 1) if n > 1 else 0.0,
+        exact=(module_size is None or n % ms == 0),
+    )
+
+
+def _ring_avg_distance(k: int) -> float:
+    """Average distance in a k-ring over ordered pairs incl. self."""
+    if k <= 1:
+        return 0.0
+    total = sum(min(d, k - d) for d in range(k))
+    return total / k
+
+
+def torus_point(k: int, dims: int, module_side: int | None = None) -> FamilyPoint:
+    """k-ary ``dims``-cube (k ≥ 3); modules are ``module_side^dims`` blocks."""
+    if k < 3:
+        raise ValueError("use hypercube_point for k=2")
+    n = k**dims
+    degree = 2 * dims
+    diam = dims * (k // 2)
+    i_deg = i_diam = avg = ms = None
+    if module_side:
+        s = module_side
+        ms = s**dims
+        kk = math.ceil(k / s)  # modules per dimension
+        i_deg = 2 * dims / s  # 2·s^{dims−1} off links per face / s^dims nodes
+        i_diam = dims * (kk // 2)
+        avg = dims * _ring_avg_distance(kk)
+    return FamilyPoint(
+        f"{k}-ary-{dims}-cube", n, degree, diam, params={"k": k, "dims": dims},
+        i_degree=i_deg, i_diameter=i_diam, avg_i_distance=avg, module_size=ms,
+        avg_distance=dims * _ring_avg_distance(k) * n / (n - 1),
+        exact=(module_side is None or k % module_side == 0),
+    )
+
+
+def hypercube_point(n: int, module_bits: int | None = None) -> FamilyPoint:
+    """``Q_n``; modules are ``2^module_bits``-subcubes."""
+    i_deg = i_diam = avg = ms = None
+    if module_bits is not None:
+        c = min(module_bits, n)
+        ms = 1 << c
+        i_deg = float(n - c)
+        i_diam = n - c
+        avg = (n - c) / 2 * (1 << n) / ((1 << n) - 1)
+    N = 1 << n
+    return FamilyPoint(
+        "hypercube", N, n, n, params={"n": n},
+        i_degree=i_deg, i_diameter=i_diam, avg_i_distance=avg, module_size=ms,
+        avg_distance=n / 2 * N / (N - 1),
+    )
+
+
+def folded_hypercube_point(n: int, module_bits: int | None = None) -> FamilyPoint:
+    """``FQ_n``; modules are subcubes (quotient is ``FQ_{n-c}``)."""
+    i_deg = i_diam = avg = ms = None
+    diam = math.ceil(n / 2)
+    if module_bits is not None:
+        c = min(module_bits, n)
+        ms = 1 << c
+        i_deg = float(n - c + 1)
+        i_diam = math.ceil((n - c) / 2)
+        avg = None  # no simple closed form; measured in tests
+    return FamilyPoint(
+        "folded-hypercube", 1 << n, n + 1, diam, params={"n": n},
+        i_degree=i_deg, i_diameter=i_diam, avg_i_distance=avg, module_size=ms,
+    )
+
+
+def star_diameter(n: int) -> int:
+    """Star-graph diameter ``⌊3(n−1)/2⌋`` (Akers, Harel & Krishnamurthy)."""
+    return (3 * (n - 1)) // 2
+
+
+def star_point(n: int, module_substar: int | None = None) -> FamilyPoint:
+    """``n``-star; modules are ``k``-substars (``k!`` nodes) fixing the last
+    ``n − k`` symbols."""
+    i_deg = i_diam = avg = ms = None
+    if module_substar is not None:
+        k = min(module_substar, n)
+        ms = math.factorial(k)
+        i_deg = float(n - k)
+        i_diam = None  # no simple closed form; measured on built instances
+    return FamilyPoint(
+        "star", math.factorial(n), n - 1, star_diameter(n), params={"n": n},
+        i_degree=i_deg, i_diameter=i_diam, avg_i_distance=avg, module_size=ms,
+    )
+
+
+def debruijn_point(n: int, module_msb: int | None = None) -> FamilyPoint:
+    """Binary de Bruijn ``dB(2, n)`` (undirected); modules group nodes by
+    the first ``module_msb`` symbols (§5.3's partitioning)."""
+    i_deg = i_diam = ms = None
+    if module_msb is not None:
+        c = min(module_msb, n)
+        ms = 1 << (n - c)
+        i_deg = 4.0  # all four shift links generally leave the module
+        i_diam = None  # measured
+    return FamilyPoint(
+        "debruijn", 1 << n, 4, n, params={"n": n},
+        i_degree=i_deg, i_diameter=i_diam, module_size=ms,
+    )
+
+
+def ccc_diameter(n: int) -> int:
+    """CCC(n) diameter: ``2n + ⌊n/2⌋ − 2`` for n ≥ 4 (small cases exact)."""
+    if n < 1:
+        raise ValueError("n >= 1")
+    if n == 1:
+        return 1
+    if n == 2:
+        return 3
+    if n == 3:
+        return 6
+    return 2 * n + n // 2 - 2
+
+
+def ccc_point(n: int) -> FamilyPoint:
+    """CCC(n); the natural module is each n-cycle (one per cube node):
+    I-degree 1, I-diameter n (one off-module hop per cube dimension, plus
+    none inside the cycles)."""
+    return FamilyPoint(
+        "ccc", n * (1 << n), 3 if n >= 3 else n, ccc_diameter(n), params={"n": n},
+        i_degree=1.0, i_diameter=n, module_size=n,
+    )
+
+
+def shuffle_exchange_point(n: int) -> FamilyPoint:
+    """Shuffle-exchange on ``2^n`` nodes: degree ≤ 3, diameter ``2n − 1``."""
+    return FamilyPoint("shuffle-exchange", 1 << n, 3, 2 * n - 1, params={"n": n})
+
+
+# ----------------------------------------------------------------------
+# super-IP families
+# ----------------------------------------------------------------------
+def superip_point(
+    family: str,
+    sgs: SuperGeneratorSet,
+    nucleus_size: int,
+    nucleus_degree: int,
+    nucleus_diameter: int,
+    nucleus_name: str = "G",
+    quotient_max_nodes: int = 4096,
+    include_i: bool = True,
+) -> FamilyPoint:
+    """Generic super-IP family point from nucleus parameters.
+
+    Degree = nucleus degree + number of super-generators (Theorem 3.1
+    upper bound, attained at generic nodes); diameter = ``l·D_G + t``
+    (Theorem 4.1); I-metrics from the module quotient graph (skipped when
+    ``include_i`` is False, e.g. for DD-cost sweeps).
+    """
+    l = sgs.l
+    M = nucleus_size
+    N = M**l
+    t = min_supergen_steps(sgs)
+    degree = nucleus_degree + sgs.num_generators
+    diam = l * nucleus_diameter + t
+    if not include_i:
+        return FamilyPoint(
+            family, N, degree, diam,
+            params={"l": l, "M": M, "nucleus": nucleus_name}, module_size=M,
+        )
+    # I-degree: average off-module links per node.  Each super-generator
+    # contributes an off-module link except when it fixes the module AND the
+    # node (self-loop).  For all the paper's families a super-generator
+    # moves the node off-module unless the blocks it touches are equal; the
+    # dominant term is d_S(1 − 1/M) and we compute the family-exact value.
+    i_deg = _superip_i_degree(sgs, M)
+    i_diam, avg, exact = _quotient_i_metrics(sgs, M, max_nodes=quotient_max_nodes)
+    return FamilyPoint(
+        family, N, degree, diam,
+        params={"l": l, "M": M, "nucleus": nucleus_name},
+        i_degree=i_deg, i_diameter=i_diam, avg_i_distance=avg, module_size=M,
+        exact=exact,
+    )
+
+
+def _superip_i_degree(sgs: SuperGeneratorSet, M: int) -> float:
+    """Exact I-degree: the *maximum over modules* of the average per-node
+    count of off-module links (§5.3's definition).
+
+    For a module key ``a = (a_2 .. a_l)`` and front value ``f``, the
+    super-generator ``p`` keeps the node in its module iff the permuted
+    label agrees with ``a`` on positions 1..l−1.  Whether that happens
+    depends only on the *equality pattern* of ``a`` (which slots share a
+    value) and on whether ``f`` hits the specific values the constraints
+    demand, so the maximum can be taken over set partitions of the ``l−1``
+    module slots (Bell(l−1) cases) instead of all ``M^{l-1}`` modules.
+    """
+    l = sgs.l
+    perms = sgs.perms()
+    best = 0.0
+    for pattern in _set_partitions(l - 1):
+        groups = max(pattern) + 1 if pattern else 0
+        if groups > M:
+            continue  # this equality pattern needs more distinct values
+        # representative module: slot j (position j+1) holds value pattern[j]
+        a = tuple(pattern)
+        total = 0.0
+        for p in perms:
+            # p fixes the module iff positions 1..l-1 of p((f,)+a) equal a.
+            # Split constraints into inter-a (deterministic) and f = value.
+            full_src = p.img  # full_src[pos] = source slot (0 = front)
+            ok_deterministic = True
+            f_values: set[int] = set()
+            for pos in range(1, l):
+                src = full_src[pos]
+                want = a[pos - 1]
+                if src == 0:
+                    f_values.add(want)
+                elif a[src - 1] != want:
+                    ok_deterministic = False
+                    break
+            if not ok_deterministic:
+                prob_fix = 0.0
+            elif not f_values:
+                prob_fix = 1.0  # fixes the module for every front value
+            elif len(f_values) == 1:
+                # f must equal one specific value among M; but f may also
+                # take values outside the module's pattern — probability
+                # is exactly 1/M
+                prob_fix = 1.0 / M
+            else:
+                prob_fix = 0.0
+            total += 1.0 - prob_fix
+        best = max(best, total)
+    return best
+
+
+def _set_partitions(k: int):
+    """All set partitions of ``k`` slots as restricted-growth strings."""
+    if k == 0:
+        yield ()
+        return
+
+    def rec(prefix: list[int], used: int):
+        if len(prefix) == k:
+            yield tuple(prefix)
+            return
+        for g in range(used + 1):
+            prefix.append(g)
+            yield from rec(prefix, max(used, g + 1))
+            prefix.pop()
+
+    yield from rec([], 0)
+
+
+def hsn_point(l: int, M: int, dG: int, DG: int, nucleus_name: str = "G", **kw) -> FamilyPoint:
+    """HSN(l, G) point (transposition super-generators)."""
+    return superip_point(
+        f"HSN(l,{nucleus_name})", SuperGeneratorSet.transpositions(l), M, dG, DG,
+        nucleus_name, **kw,
+    )
+
+
+def ring_cn_point(l: int, M: int, dG: int, DG: int, nucleus_name: str = "G", **kw) -> FamilyPoint:
+    """Ring-CN(l, G) point."""
+    return superip_point(
+        f"ring-CN(l,{nucleus_name})", SuperGeneratorSet.ring(l), M, dG, DG,
+        nucleus_name, **kw,
+    )
+
+
+def complete_cn_point(l: int, M: int, dG: int, DG: int, nucleus_name: str = "G", **kw) -> FamilyPoint:
+    """Complete-CN(l, G) point."""
+    return superip_point(
+        f"complete-CN(l,{nucleus_name})", SuperGeneratorSet.complete_shifts(l), M, dG,
+        DG, nucleus_name, **kw,
+    )
+
+
+def super_flip_point(l: int, M: int, dG: int, DG: int, nucleus_name: str = "G", **kw) -> FamilyPoint:
+    """Super-flip(l, G) point."""
+    return superip_point(
+        f"super-flip(l,{nucleus_name})", SuperGeneratorSet.flips(l), M, dG, DG,
+        nucleus_name, **kw,
+    )
+
+
+def hcn_point(n: int, **kw) -> FamilyPoint:
+    """HCN(n, n) without diameter links = HSN(2, Q_n)."""
+    pt = hsn_point(2, 1 << n, n, n, nucleus_name=f"Q{n}", **kw)
+    return FamilyPoint(
+        "HCN(n,n)", pt.num_nodes, pt.degree, pt.diameter, params={"n": n},
+        i_degree=pt.i_degree, i_diameter=pt.i_diameter,
+        avg_i_distance=pt.avg_i_distance, module_size=pt.module_size,
+        exact=pt.exact,
+    )
+
+
+def symmetric_superip_point(
+    family: str,
+    sgs: SuperGeneratorSet,
+    nucleus_size: int,
+    nucleus_degree: int,
+    nucleus_diameter: int,
+    nucleus_name: str = "G",
+) -> FamilyPoint:
+    """Symmetric super-IP variant: ``|A|·M^l`` nodes, regular degree
+    ``d_N + d_S``, diameter ``l·D_G + t_S`` (Theorem 4.3)."""
+    l = sgs.l
+    M = nucleus_size
+    N = len(reachable_arrangements(sgs)) * M**l
+    t_s = min_supergen_steps_symmetric(sgs)
+    return FamilyPoint(
+        family, N, nucleus_degree + sgs.num_generators,
+        l * nucleus_diameter + t_s,
+        params={"l": l, "M": M, "nucleus": nucleus_name, "symmetric": True},
+        module_size=M,
+    )
+
+
+def cyclic_petersen_point(l: int, **kw) -> FamilyPoint:
+    """Ring-CN over the Petersen nucleus — 'CN(l, P)' in Figure 2.
+
+    Petersen: M = 10, degree 3, diameter 2 (a Moore graph, hence the
+    densest possible degree-3 nucleus).
+    """
+    return superip_point(
+        "ring-CN(l,P)", SuperGeneratorSet.ring(l), 10, 3, 2, "P", **kw
+    )

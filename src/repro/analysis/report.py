@@ -1,0 +1,38 @@
+"""Plain-text table rendering for benchmark/experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(v) -> str:
+    """Compact scalar formatting for tables."""
+    if v is None:
+        return "-"
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "-"
+        return f"{v:.3f}".rstrip("0").rstrip(".") if abs(v) < 1e6 else f"{v:.3g}"
+    return str(v)
+
+
+def render_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned plain-text table.
+
+    Missing keys render as ``-``; column order is the first row's key order
+    unless ``columns`` is given.
+    """
+    if not rows:
+        return "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    grid = [[format_value(r.get(c)) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(g[i]) for g in grid)) for i, c in enumerate(cols)]
+    sep = "  "
+    header = sep.join(c.ljust(w) for c, w in zip(cols, widths))
+    rule = sep.join("-" * w for w in widths)
+    body = "\n".join(sep.join(cell.ljust(w) for cell, w in zip(g, widths)) for g in grid)
+    return f"{header}\n{rule}\n{body}"

@@ -1,0 +1,98 @@
+"""The grand comparison table: every family at a comparable size.
+
+The paper opens with "a sea of interconnection networks"; this module
+builds one table that puts the whole sea side by side — every registered
+family instantiated near a target size, with degree, diameter, average
+distance, the Section-5 inter-cluster metrics under a module cap, and the
+three cost figures of merit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.ipgraph import IPGraph
+from repro.core.network import Network
+
+__all__ = ["grand_comparison"]
+
+#: builders that accept a target size and return a Network near it
+_SIZE_PICKERS = {
+    "ring": lambda n: {"n": n},
+    "hypercube": lambda n: {"n": max(1, round(math.log2(n)))},
+    "folded_hypercube": lambda n: {"n": max(1, round(math.log2(n)))},
+    "star": lambda n: {"n": _star_n(n)},
+    "debruijn": lambda n: {"d": 2, "n": max(1, round(math.log2(n)))},
+    "shuffle_exchange": lambda n: {"n": max(1, round(math.log2(n)))},
+    "ccc": lambda n: {"n": _ccc_n(n)},
+    "hcn": lambda n: {"n": max(1, round(math.log2(n) / 2))},
+    "hsn": lambda n: {"l": 2, "n": max(1, round(math.log2(n) / 2))},
+    "ring_cn": lambda n: {"l": 2, "n": max(1, round(math.log2(n) / 2))},
+    "super_flip": lambda n: {"l": 2, "n": max(1, round(math.log2(n) / 2))},
+    "cyclic_petersen": lambda n: {"l": max(2, round(math.log(n, 10)))},
+    "torus": lambda n: {"dims": [max(3, round(math.sqrt(n)))] * 2},
+}
+
+
+def _star_n(target: int) -> int:
+    n = 3
+    while math.factorial(n + 1) <= target * 2:
+        n += 1
+    return n
+
+
+def _ccc_n(target: int) -> int:
+    n = 3
+    while (n + 1) * (1 << (n + 1)) <= target * 2:
+        n += 1
+    return n
+
+
+def grand_comparison(
+    target_size: int = 256, module_cap: int = 16, max_nodes: int = 30_000
+) -> list[dict]:
+    """One row per family near ``target_size`` nodes, everything measured
+    exactly on the built instance.
+
+    Modules: nucleus copies for IP-built families (split to the cap),
+    spectral bisection for the rest.
+    """
+    from repro import metrics as mt
+    from repro import networks as nw
+    from repro.metrics.partitioning import spectral_modules
+
+    rows = []
+    for family, pick in _SIZE_PICKERS.items():
+        params = pick(target_size)
+        try:
+            g = nw.build(family, **params)
+        except (ValueError, KeyError):
+            continue
+        if g.num_nodes > max_nodes or g.num_nodes < 4:
+            continue
+        if isinstance(g, IPGraph) and any(
+            gen.kind == "super" for gen in g.generators
+        ):
+            ma = mt.nucleus_modules(g)
+            if ma.max_module_size > module_cap:
+                ma = mt.split_modules(ma, module_cap)
+        else:
+            ma = spectral_modules(g, module_cap)
+        c = mt.measure_costs(g, ma)
+        rows.append(
+            {
+                "network": g.name,
+                "N": c.num_nodes,
+                "degree": c.degree,
+                "diameter": c.diameter,
+                "avg dist": round(c.avg_distance, 2),
+                "module": ma.max_module_size,
+                "I-degree": round(c.i_degree, 2),
+                "I-diam": c.i_diameter,
+                "DD": round(c.dd_cost, 1),
+                "ID": round(c.id_cost, 1),
+                "II": round(c.ii_cost, 2),
+            }
+        )
+    rows.sort(key=lambda r: r["II"])
+    return rows

@@ -1,0 +1,66 @@
+"""Core model: permutations, IP graphs, ball-arrangement game, super-IP layer."""
+
+from .ballgame import BallArrangementGame, solve_bfs, solve_bidirectional
+from .fastclosure import build_ip_graph_fast
+from .ipgraph import GENERIC, NUCLEUS, SUPER, Generator, IPGraph, build_ip_graph
+from .network import Network
+from .permutation import (
+    Permutation,
+    all_permutations,
+    block_permutation,
+    cyclic_shift_left,
+    cyclic_shift_right,
+    from_cycles,
+    identity,
+    lift_to_block,
+    prefix_reversal,
+    random_permutation,
+    transposition,
+)
+from .superip import (
+    NucleusSpec,
+    SuperGeneratorSet,
+    build_super_ip_graph,
+    diameter_formula,
+    min_supergen_steps,
+    min_supergen_steps_symmetric,
+    reachable_arrangements,
+    super_ip_size,
+    symmetric_diameter_formula,
+    symmetric_super_ip_size,
+)
+
+__all__ = [
+    "all_permutations",
+    "BallArrangementGame",
+    "block_permutation",
+    "build_ip_graph",
+    "build_ip_graph_fast",
+    "build_super_ip_graph",
+    "cyclic_shift_left",
+    "cyclic_shift_right",
+    "diameter_formula",
+    "from_cycles",
+    "Generator",
+    "GENERIC",
+    "identity",
+    "IPGraph",
+    "lift_to_block",
+    "min_supergen_steps",
+    "min_supergen_steps_symmetric",
+    "Network",
+    "NUCLEUS",
+    "NucleusSpec",
+    "Permutation",
+    "prefix_reversal",
+    "random_permutation",
+    "reachable_arrangements",
+    "solve_bfs",
+    "solve_bidirectional",
+    "SUPER",
+    "super_ip_size",
+    "SuperGeneratorSet",
+    "symmetric_diameter_formula",
+    "symmetric_super_ip_size",
+    "transposition",
+]

@@ -1,0 +1,191 @@
+"""The ball-arrangement game (BAG).
+
+Section 2 of the paper introduces IP graphs through a game: ``k`` balls, each
+stamped with a (not necessarily distinct) number, are rearranged by a fixed
+set of permissible moves (index permutations).  The state-transition graph of
+the game *is* the IP graph, and solving the game between two configurations
+is exactly routing between the corresponding network nodes.
+
+This module implements the game directly: configurations, legal moves,
+reachability, and optimal solvers (BFS and bidirectional BFS).  It exists
+both as the pedagogical entry point of the library and as an oracle for the
+routing algorithms (a route produced by
+:mod:`repro.routing.superip` can be cross-checked against the optimal game
+solution).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+from typing import Hashable
+
+from .ipgraph import Generator, IPGraph, build_ip_graph
+from .permutation import Permutation
+
+__all__ = ["BallArrangementGame", "solve_bfs", "solve_bidirectional"]
+
+Config = tuple[Hashable, ...]
+
+
+class BallArrangementGame:
+    """A ball-arrangement game: balls + permissible moves.
+
+    Parameters
+    ----------
+    balls:
+        The initial configuration (the numbers stamped on the balls, in
+        position order).  Repeated numbers are allowed.
+    moves:
+        The permissible moves; bare permutations are wrapped as generic
+        :class:`~repro.core.ipgraph.Generator` objects.
+    """
+
+    def __init__(self, balls: Sequence[Hashable], moves: Iterable[Generator | Permutation]):
+        self.start: Config = tuple(balls)
+        self.moves: list[Generator] = [
+            m if isinstance(m, Generator) else Generator(m) for m in moves
+        ]
+        if not self.moves:
+            raise ValueError("at least one move is required")
+        for m in self.moves:
+            if m.perm.size != len(self.start):
+                raise ValueError("move size does not match number of balls")
+
+    @property
+    def num_balls(self) -> int:
+        """Number of balls ``k``."""
+        return len(self.start)
+
+    @property
+    def num_moves(self) -> int:
+        """Number of permissible moves ``d``."""
+        return len(self.moves)
+
+    def play(self, config: Sequence[Hashable], move: int) -> Config:
+        """Apply move index ``move`` to ``config``."""
+        return self.moves[move].perm(tuple(config))
+
+    def play_sequence(self, config: Sequence[Hashable], seq: Iterable[int]) -> Config:
+        """Apply a sequence of move indices."""
+        cur = tuple(config)
+        for m in seq:
+            cur = self.play(cur, m)
+        return cur
+
+    def reachable(self, max_states: int = 2_000_000) -> set[Config]:
+        """All configurations reachable from the start."""
+        graph = self.state_graph(max_nodes=max_states)
+        return set(graph.labels)
+
+    def state_graph(self, max_nodes: int = 2_000_000) -> IPGraph:
+        """The state-transition graph — by definition, the IP graph."""
+        return build_ip_graph(self.start, self.moves, name="bag", max_nodes=max_nodes)
+
+    def is_solvable(self, goal: Sequence[Hashable], max_states: int = 2_000_000) -> bool:
+        """True iff ``goal`` is reachable from the start configuration."""
+        return solve_bidirectional(self, self.start, goal, max_states=max_states) is not None
+
+    def solve(
+        self, goal: Sequence[Hashable], start: Sequence[Hashable] | None = None
+    ) -> list[int] | None:
+        """Optimal move sequence from ``start`` (default: initial balls) to
+        ``goal``, or ``None`` if unreachable."""
+        return solve_bidirectional(self, self.start if start is None else start, goal)
+
+
+def solve_bfs(
+    game: BallArrangementGame,
+    start: Sequence[Hashable],
+    goal: Sequence[Hashable],
+    max_states: int = 2_000_000,
+) -> list[int] | None:
+    """Shortest move sequence via plain forward BFS (``None`` if unreachable)."""
+    start_t, goal_t = tuple(start), tuple(goal)
+    if start_t == goal_t:
+        return []
+    parent: dict[Config, tuple[Config, int]] = {start_t: (start_t, -1)}
+    queue: deque[Config] = deque([start_t])
+    while queue:
+        cur = queue.popleft()
+        for mi, mv in enumerate(game.moves):
+            nxt = mv.perm(cur)
+            if nxt in parent:
+                continue
+            parent[nxt] = (cur, mi)
+            if nxt == goal_t:
+                return _walk_back(parent, start_t, goal_t)
+            if len(parent) > max_states:
+                raise ValueError("state space exceeds max_states")
+            queue.append(nxt)
+    return None
+
+
+def solve_bidirectional(
+    game: BallArrangementGame,
+    start: Sequence[Hashable],
+    goal: Sequence[Hashable],
+    max_states: int = 2_000_000,
+) -> list[int] | None:
+    """Shortest move sequence via bidirectional BFS.
+
+    The backward search uses inverse moves, so the two frontiers meet in the
+    middle; for the d-regular state spaces of interconnection networks this
+    is exponentially faster than :func:`solve_bfs`.
+    """
+    start_t, goal_t = tuple(start), tuple(goal)
+    if start_t == goal_t:
+        return []
+    inv = [m.perm.inverse() for m in game.moves]
+    # parent maps: config -> (previous config, move index used to reach it)
+    fwd: dict[Config, tuple[Config, int]] = {start_t: (start_t, -1)}
+    bwd: dict[Config, tuple[Config, int]] = {goal_t: (goal_t, -1)}
+    fq: deque[Config] = deque([start_t])
+    bq: deque[Config] = deque([goal_t])
+    while fq and bq:
+        # expand the smaller frontier
+        if len(fq) <= len(bq):
+            meet = _expand(fq, fwd, bwd, [m.perm for m in game.moves], max_states)
+        else:
+            meet = _expand(bq, bwd, fwd, inv, max_states)
+        if meet is not None:
+            return _join(fwd, bwd, start_t, goal_t, meet)
+    return None
+
+
+def _expand(queue, this_side, other_side, perms, max_states):
+    for _ in range(len(queue)):
+        cur = queue.popleft()
+        for mi, p in enumerate(perms):
+            nxt = p(cur)
+            if nxt in this_side:
+                continue
+            this_side[nxt] = (cur, mi)
+            if len(this_side) > max_states:
+                raise ValueError("state space exceeds max_states")
+            if nxt in other_side:
+                return nxt
+            queue.append(nxt)
+    return None
+
+
+def _walk_back(parent, start, goal):
+    seq: list[int] = []
+    cur = goal
+    while cur != start:
+        cur, mi = parent[cur]
+        seq.append(mi)
+    seq.reverse()
+    return seq
+
+
+def _join(fwd, bwd, start, goal, meet):
+    head = _walk_back(fwd, start, meet)
+    # backward side stored parents towards goal using *inverse* moves; walking
+    # from meet to goal we must emit the forward move indices in order.
+    tail: list[int] = []
+    cur = meet
+    while cur != goal:
+        cur, mi = bwd[cur]
+        tail.append(mi)
+    return head + tail

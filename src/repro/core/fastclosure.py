@@ -1,0 +1,157 @@
+"""Vectorized IP-graph closure.
+
+The reference engine (:func:`repro.core.ipgraph.build_ip_graph`) applies
+generators label by label in Python.  For large super-IP graphs the closure
+dominates construction time, and the action of an index permutation on a
+*batch* of labels is just a NumPy column gather — so the whole frontier can
+be expanded at once:
+
+* labels live in an ``(N, k)`` integer matrix;
+* applying generator ``p`` to a frontier block ``F`` is ``F[:, p.img]``;
+* deduplication uses byte-view keys with ``searchsorted`` against the
+  sorted known set and ``np.unique`` within the batch — no per-arc Python.
+
+Produces bit-identical graphs to the reference engine (same node order,
+same arc list) — asserted in the test suite — at an order of magnitude the
+speed for graphs beyond ~10k nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from .ipgraph import Generator, IPGraph
+from .network import Label
+from .permutation import Permutation
+
+__all__ = ["build_ip_graph_fast"]
+
+
+def _encode_seed(seed: Sequence) -> tuple[np.ndarray, list]:
+    """Map arbitrary hashable symbols to small ints (order of appearance)."""
+    symbols: dict = {}
+    row = []
+    for s in seed:
+        row.append(symbols.setdefault(s, len(symbols)))
+    alphabet = [None] * len(symbols)
+    for s, i in symbols.items():
+        alphabet[i] = s
+    return np.asarray(row, dtype=np.int32), alphabet
+
+
+def _void_view(rows: np.ndarray) -> np.ndarray:
+    """View (n, k) int rows as an (n,) array of fixed-size byte keys."""
+    rows = np.ascontiguousarray(rows)
+    return rows.view(np.dtype((np.void, rows.dtype.itemsize * rows.shape[1]))).ravel()
+
+
+def build_ip_graph_fast(
+    seed: Sequence,
+    generators: Iterable[Generator | Permutation],
+    name: str = "ip-graph",
+    max_nodes: int = 5_000_000,
+    directed: bool = False,
+) -> IPGraph:
+    """Vectorized drop-in replacement for
+    :func:`repro.core.ipgraph.build_ip_graph`.
+
+    Matches the reference engine exactly: identical node numbering (BFS
+    discovery order, generators applied in index order) and identical arc
+    list.
+    """
+    gens: list[Generator] = []
+    for g in generators:
+        if isinstance(g, Permutation):
+            g = Generator(g)
+        gens.append(g)
+    if not gens:
+        raise ValueError("at least one generator is required")
+    k = gens[0].perm.size
+    seed_t = tuple(seed)
+    if len(seed_t) != k:
+        raise ValueError(f"seed length {len(seed_t)} != generator size {k}")
+    for g in gens:
+        if g.perm.size != k:
+            raise ValueError("all generators must act on the same number of positions")
+
+    seed_row, alphabet = _encode_seed(seed_t)
+    gen_imgs = [np.asarray(g.perm.img, dtype=np.int64) for g in gens]
+    ngen = len(gens)
+
+    rows_blocks = [seed_row[None, :]]
+    known_keys = _void_view(seed_row[None, :]).copy()  # sorted (length 1)
+    known_ids = np.array([0], dtype=np.int64)
+    total = 1
+
+    arc_src: list[np.ndarray] = []
+    arc_dst: list[np.ndarray] = []
+    arc_gen: list[np.ndarray] = []
+
+    frontier = seed_row[None, :]
+    frontier_ids = np.array([0], dtype=np.int64)
+    while len(frontier):
+        f = len(frontier)
+        src_ids = frontier_ids
+        # stacked[i*ngen + gi] = gens[gi](frontier[i]) — the reference
+        # engine's (node, generator) inner-loop order
+        stacked = np.empty((f * ngen, k), dtype=frontier.dtype)
+        for gi, img in enumerate(gen_imgs):
+            stacked[gi::ngen] = frontier[:, img]
+        keys = _void_view(stacked)
+
+        pos = np.searchsorted(known_keys, keys)
+        pos_c = np.minimum(pos, len(known_keys) - 1)
+        hit = known_keys[pos_c] == keys
+        dst = np.empty(f * ngen, dtype=np.int64)
+        dst[hit] = known_ids[pos_c[hit]]
+
+        miss_idx = np.nonzero(~hit)[0]
+        if len(miss_idx):
+            miss_keys = keys[miss_idx]
+            uniq, first, inv = np.unique(
+                miss_keys, return_index=True, return_inverse=True
+            )
+            # discovery order = ascending first-occurrence position
+            order = np.argsort(first, kind="stable")
+            rank = np.empty(len(uniq), dtype=np.int64)
+            rank[order] = np.arange(len(uniq))
+            if total + len(uniq) > max_nodes:
+                raise ValueError(
+                    f"IP graph exceeds max_nodes={max_nodes}; "
+                    "raise the bound explicitly if intended"
+                )
+            new_ids = total + rank
+            dst[miss_idx] = new_ids[inv]
+            new_rows = stacked[miss_idx[first[order]]]
+            rows_blocks.append(new_rows)
+            # merge the new keys into the sorted known set
+            merged_keys = np.concatenate([known_keys, uniq])
+            merged_ids = np.concatenate([known_ids, new_ids])
+            sort = np.argsort(merged_keys, kind="stable")
+            known_keys = merged_keys[sort]
+            known_ids = merged_ids[sort]
+            old_total = total
+            total += len(uniq)
+            frontier = new_rows
+            frontier_ids = np.arange(old_total, total, dtype=np.int64)
+        else:
+            frontier = frontier[:0]
+
+        # record this level's arcs (sources are the frontier we expanded)
+        arc_src.append(np.repeat(src_ids, ngen))
+        arc_dst.append(dst)
+        arc_gen.append(np.tile(np.arange(ngen, dtype=np.int64), f))
+
+    mat = np.concatenate(rows_blocks, axis=0)
+    if alphabet == list(range(len(alphabet))):
+        # symbols are already 0..a-1: skip the per-symbol remapping
+        labels: list[Label] = list(map(tuple, mat.tolist()))
+    else:
+        amap = np.array(alphabet, dtype=object)
+        labels = list(map(tuple, amap[mat].tolist()))
+    edges = np.column_stack(
+        [np.concatenate(arc_src), np.concatenate(arc_dst), np.concatenate(arc_gen)]
+    )
+    return IPGraph(labels, gens, edges, name=name, seed=seed_t, directed=directed)

@@ -1,0 +1,333 @@
+"""Index-permutation algebra.
+
+The index-permutation (IP) graph model of Yeh & Parhami is built on
+permutations of *positions* (indices) acting on labels (strings of symbols,
+possibly with repetitions).  This module provides the permutation type used
+throughout the library.
+
+Conventions
+-----------
+Positions are 0-based.  A :class:`Permutation` ``p`` of size ``k`` stores a
+*one-line gather form* ``p.img``: applying ``p`` to a label ``x`` yields the
+label ``y`` with ``y[i] = x[p.img[i]]``.  This matches the one-line examples
+in the paper, e.g. the generator written ``456123`` (1-based) maps the label
+``y1 y2 y3 y4 y5 y6`` to ``y4 y5 y6 y1 y2 y3``: in 0-based gather form its
+image tuple is ``(3, 4, 5, 0, 1, 2)``.
+
+The composition :meth:`Permutation.then` applies permutations in *reading
+order*: ``p.then(q)`` acts like "first ``p``, then ``q``".
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+from typing import TypeVar
+
+__all__ = [
+    "Permutation",
+    "identity",
+    "transposition",
+    "from_cycles",
+    "cyclic_shift_left",
+    "cyclic_shift_right",
+    "prefix_reversal",
+    "block_permutation",
+    "lift_to_block",
+    "random_permutation",
+    "all_permutations",
+]
+
+_T = TypeVar("_T")
+
+
+class Permutation:
+    """A permutation of ``k`` positions in one-line gather form.
+
+    Parameters
+    ----------
+    img:
+        Sequence of length ``k`` containing each of ``0 .. k-1`` exactly
+        once.  Applying the permutation to a label ``x`` produces ``y`` with
+        ``y[i] = x[img[i]]``.
+
+    Notes
+    -----
+    Instances are immutable and hashable; they can be used as dict keys and
+    set members (the IP-graph engine relies on this).
+    """
+
+    __slots__ = ("_img", "_hash")
+
+    def __init__(self, img: Sequence[int]):
+        img_t = tuple(int(i) for i in img)
+        k = len(img_t)
+        seen = [False] * k
+        for i in img_t:
+            if not 0 <= i < k or seen[i]:
+                raise ValueError(f"not a permutation of 0..{k - 1}: {img_t!r}")
+            seen[i] = True
+        self._img = img_t
+        self._hash = hash(img_t)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def img(self) -> tuple[int, ...]:
+        """One-line gather form (read-only)."""
+        return self._img
+
+    @property
+    def size(self) -> int:
+        """Number of positions this permutation acts on."""
+        return len(self._img)
+
+    def __len__(self) -> int:
+        return len(self._img)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Permutation):
+            return self._img == other._img
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Permutation({list(self._img)!r})"
+
+    def __str__(self) -> str:
+        cyc = self.cycles(include_fixed=False)
+        if not cyc:
+            return f"id[{self.size}]"
+        return "".join("(" + " ".join(map(str, c)) + ")" for c in cyc)
+
+    # ------------------------------------------------------------------
+    # group operations
+    # ------------------------------------------------------------------
+    def __call__(self, label: Sequence[_T]) -> tuple[_T, ...]:
+        """Apply the permutation to a label: ``result[i] = label[img[i]]``."""
+        if len(label) != len(self._img):
+            raise ValueError(
+                f"label length {len(label)} != permutation size {len(self._img)}"
+            )
+        return tuple(label[i] for i in self._img)
+
+    def then(self, other: "Permutation") -> "Permutation":
+        """Composition in reading order: apply ``self`` first, then ``other``.
+
+        ``(p.then(q))(x) == q(p(x))`` for every label ``x``.
+        """
+        if other.size != self.size:
+            raise ValueError("size mismatch in composition")
+        # q(p(x))[i] = p(x)[q.img[i]] = x[p.img[q.img[i]]]
+        return Permutation(tuple(self._img[j] for j in other._img))
+
+    def __mul__(self, other: "Permutation") -> "Permutation":
+        """``p * q`` = apply ``q`` first, then ``p`` (classical convention)."""
+        return other.then(self)
+
+    def inverse(self) -> "Permutation":
+        """The inverse permutation: ``p.inverse()(p(x)) == x``."""
+        inv = [0] * len(self._img)
+        for i, j in enumerate(self._img):
+            inv[j] = i
+        return Permutation(inv)
+
+    def __pow__(self, n: int) -> "Permutation":
+        if n < 0:
+            return self.inverse() ** (-n)
+        result = identity(self.size)
+        base = self
+        while n:
+            if n & 1:
+                result = result.then(base)
+            base = base.then(base)
+            n >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def is_identity(self) -> bool:
+        """True iff this is the identity permutation."""
+        return all(i == j for i, j in enumerate(self._img))
+
+    def is_involution(self) -> bool:
+        """True iff ``p`` is its own inverse (p² = id)."""
+        return all(self._img[self._img[i]] == i for i in range(len(self._img)))
+
+    def cycles(self, include_fixed: bool = False) -> list[tuple[int, ...]]:
+        """Disjoint-cycle decomposition, each cycle starting at its minimum.
+
+        Cycles are reported for the *position-movement* action: a cycle
+        ``(a b c)`` means the symbol at position ``a`` moves to ``b``, the one
+        at ``b`` to ``c``, and the one at ``c`` to ``a``.  That is the
+        convention used in the paper's ``(i; j)`` notation for swaps.
+        """
+        # Under gather semantics y[i] = x[img[i]], the symbol at position j
+        # of x lands at position inv[j] of y; cycles follow the inverse map.
+        inv = self.inverse()._img
+        seen = [False] * len(inv)
+        out: list[tuple[int, ...]] = []
+        for start in range(len(inv)):
+            if seen[start]:
+                continue
+            cyc = [start]
+            seen[start] = True
+            j = inv[start]
+            while j != start:
+                cyc.append(j)
+                seen[j] = True
+                j = inv[j]
+            if len(cyc) > 1 or include_fixed:
+                out.append(tuple(cyc))
+        return out
+
+    def order(self) -> int:
+        """Multiplicative order of the permutation (lcm of cycle lengths)."""
+        import math
+
+        result = 1
+        for cyc in self.cycles(include_fixed=False):
+            result = math.lcm(result, len(cyc))
+        return result
+
+    def parity(self) -> int:
+        """0 for even permutations, 1 for odd."""
+        swaps = sum(len(c) - 1 for c in self.cycles(include_fixed=False))
+        return swaps & 1
+
+    def support(self) -> frozenset[int]:
+        """Positions actually moved by the permutation."""
+        return frozenset(i for i in range(len(self._img)) if self._img[i] != i)
+
+    def orbit(self, label: Sequence[_T]) -> list[tuple[_T, ...]]:
+        """Orbit of ``label`` under repeated application (cyclic group ⟨p⟩)."""
+        start = tuple(label)
+        out = [start]
+        cur = self(start)
+        while cur != start:
+            out.append(cur)
+            cur = self(cur)
+        return out
+
+
+# ----------------------------------------------------------------------
+# constructors
+# ----------------------------------------------------------------------
+def identity(k: int) -> Permutation:
+    """The identity permutation on ``k`` positions."""
+    return Permutation(range(k))
+
+
+def transposition(k: int, i: int, j: int) -> Permutation:
+    """The swap ``(i j)`` on ``k`` positions (0-based)."""
+    if not (0 <= i < k and 0 <= j < k):
+        raise ValueError(f"positions {i},{j} out of range for size {k}")
+    img = list(range(k))
+    img[i], img[j] = img[j], img[i]
+    return Permutation(img)
+
+
+def from_cycles(k: int, cycles: Iterable[Sequence[int]], one_based: bool = False) -> Permutation:
+    """Build a permutation of ``k`` positions from disjoint cycles.
+
+    A cycle ``(a, b, c)`` sends the symbol at position ``a`` to position
+    ``b``, ``b`` to ``c``, ``c`` to ``a`` — the paper's convention for its
+    ``(i; j)`` generator notation.
+
+    Parameters
+    ----------
+    one_based:
+        If True, cycle entries are given 1-based (as in the paper).
+    """
+    move = list(range(k))  # move[src] = dst
+    used: set[int] = set()
+    for cyc in cycles:
+        cyc = [c - 1 for c in cyc] if one_based else list(cyc)
+        for c in cyc:
+            if not 0 <= c < k:
+                raise ValueError(f"cycle entry {c} out of range for size {k}")
+            if c in used:
+                raise ValueError("cycles are not disjoint")
+            used.add(c)
+        for a, b in zip(cyc, cyc[1:] + cyc[:1]):
+            move[a] = b
+    # gather form: y[dst] = x[src]  =>  img[dst] = src
+    img = [0] * k
+    for src, dst in enumerate(move):
+        img[dst] = src
+    return Permutation(img)
+
+
+def cyclic_shift_left(k: int, shift: int = 1) -> Permutation:
+    """Left cyclic shift: ``y = x[shift:] + x[:shift]``."""
+    shift %= k
+    return Permutation([(i + shift) % k for i in range(k)])
+
+
+def cyclic_shift_right(k: int, shift: int = 1) -> Permutation:
+    """Right cyclic shift: ``y = x[-shift:] + x[:-shift]``."""
+    return cyclic_shift_left(k, -shift)
+
+
+def prefix_reversal(k: int, prefix: int) -> Permutation:
+    """Reverse the first ``prefix`` positions (pancake flip)."""
+    if not 1 <= prefix <= k:
+        raise ValueError(f"prefix {prefix} out of range for size {k}")
+    img = list(range(k))
+    img[:prefix] = reversed(img[:prefix])
+    return Permutation(img)
+
+
+def block_permutation(block_perm: Sequence[int], m: int) -> Permutation:
+    """Expand a permutation of ``l`` blocks into one of ``l*m`` positions.
+
+    ``block_perm`` is the gather form over blocks; each block has ``m``
+    symbols whose internal order is preserved.  This is how the paper's
+    *super-generators* act: e.g. the transposition super-generator
+    ``T_{i,m} = (0, i)_m`` is ``block_permutation(swap-of-blocks, m)``.
+    """
+    l = len(block_perm)
+    img: list[int] = []
+    for b in block_perm:
+        if not 0 <= b < l:
+            raise ValueError("invalid block permutation")
+        img.extend(range(b * m, b * m + m))
+    return Permutation(img)
+
+
+def lift_to_block(p: Permutation, l: int, m: int, block: int = 0) -> Permutation:
+    """Lift an ``m``-position permutation to act on one block of ``l*m``.
+
+    The paper's *nucleus generators* permute symbols inside the leftmost
+    super-symbol; that is ``lift_to_block(p, l, m, block=0)``.
+    """
+    if p.size != m:
+        raise ValueError(f"permutation size {p.size} != block size {m}")
+    if not 0 <= block < l:
+        raise ValueError(f"block {block} out of range for {l} blocks")
+    img = list(range(l * m))
+    base = block * m
+    for i in range(m):
+        img[base + i] = base + p.img[i]
+    return Permutation(img)
+
+
+def random_permutation(k: int, rng) -> Permutation:
+    """A uniformly random permutation of ``k`` positions.
+
+    Parameters
+    ----------
+    rng:
+        A :class:`numpy.random.Generator` (pass one in for reproducibility).
+    """
+    return Permutation(tuple(int(i) for i in rng.permutation(k)))
+
+
+def all_permutations(k: int) -> Iterable[Permutation]:
+    """Iterate over all ``k!`` permutations (small ``k`` only)."""
+    for img in itertools.permutations(range(k)):
+        yield Permutation(img)

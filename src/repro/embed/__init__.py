@@ -1,0 +1,12 @@
+"""Embeddings: dilation/congestion measurement and constructive HSN maps."""
+
+from .embedding import Embedding, EmbeddingReport
+from .hsn_embeddings import hypercube_into_hsn, product_into_hsn, torus_into_hsn
+
+__all__ = [
+    "Embedding",
+    "EmbeddingReport",
+    "hypercube_into_hsn",
+    "product_into_hsn",
+    "torus_into_hsn",
+]

@@ -1,0 +1,152 @@
+"""Graph embedding evaluation: dilation, congestion, expansion.
+
+The paper claims HSNs embed their corresponding homogeneous product
+networks (hypercubes, k-ary n-cubes) with dilation 3, and that suitably
+constructed super-IP graphs emulate the higher-degree network with
+asymptotically optimal slowdown.  This module provides the generic
+machinery to *measure* those claims for any guest/host pair and node map.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.metrics.distances import bfs_distances
+from repro.routing.table import shortest_path
+
+__all__ = ["Embedding", "EmbeddingReport"]
+
+
+class EmbeddingReport:
+    """Measured quality of an embedding."""
+
+    __slots__ = ("dilation", "avg_dilation", "congestion", "expansion", "num_guest_edges")
+
+    def __init__(self, dilation, avg_dilation, congestion, expansion, num_guest_edges):
+        self.dilation = dilation
+        self.avg_dilation = avg_dilation
+        self.congestion = congestion
+        self.expansion = expansion
+        self.num_guest_edges = num_guest_edges
+
+    def __repr__(self) -> str:
+        return (
+            f"EmbeddingReport(dilation={self.dilation}, "
+            f"avg_dilation={self.avg_dilation:.3f}, congestion={self.congestion}, "
+            f"expansion={self.expansion:.3f})"
+        )
+
+
+class Embedding:
+    """A node map from a guest network into a host network.
+
+    Parameters
+    ----------
+    guest, host:
+        The two networks.
+    node_map:
+        ``node_map[guest_node] = host_node``.  Must be injective.
+    edge_router:
+        Optional callable ``(host_u, host_v) -> [host path]`` supplying the
+        host path for each guest edge (e.g. the constructive 3-hop paths of
+        the HSN embedding).  Defaults to BFS shortest paths.
+    """
+
+    def __init__(
+        self,
+        guest: Network,
+        host: Network,
+        node_map: Sequence[int] | np.ndarray,
+        edge_router: Callable[[int, int], list[int]] | None = None,
+    ):
+        node_map = np.asarray(node_map, dtype=np.int64)
+        if node_map.shape != (guest.num_nodes,):
+            raise ValueError("node_map length != guest size")
+        if len(np.unique(node_map)) != len(node_map):
+            raise ValueError("node_map must be injective")
+        if len(node_map) and (node_map.min() < 0 or node_map.max() >= host.num_nodes):
+            raise ValueError("node_map target out of range")
+        self.guest = guest
+        self.host = host
+        self.node_map = node_map
+        self.edge_router = edge_router
+
+    def guest_edges(self) -> list[tuple[int, int]]:
+        """Distinct undirected guest edges as (u, v) with u < v."""
+        csr = self.guest.adjacency_csr()
+        coo = csr.tocoo()
+        return [(int(u), int(v)) for u, v in zip(coo.row, coo.col) if u < v]
+
+    def host_path(self, gu: int, gv: int) -> list[int]:
+        """Host path realizing guest edge (gu, gv)."""
+        hu, hv = int(self.node_map[gu]), int(self.node_map[gv])
+        if self.edge_router is not None:
+            p = self.edge_router(hu, hv)
+            if p[0] != hu or p[-1] != hv:
+                raise ValueError("edge_router returned a path with wrong endpoints")
+            return p
+        return shortest_path(self.host, hu, hv)
+
+    def dilation_of_edge(self, gu: int, gv: int) -> int:
+        """Host path length for one guest edge."""
+        return len(self.host_path(gu, gv)) - 1
+
+    def report(self) -> EmbeddingReport:
+        """Measure dilation (max/avg), congestion and expansion.
+
+        Congestion counts, per undirected host edge, how many guest-edge
+        paths traverse it.
+        """
+        edges = self.guest_edges()
+        if not edges:
+            return EmbeddingReport(0, 0.0, 0, self.host.num_nodes / max(self.guest.num_nodes, 1), 0)
+        if self.edge_router is None:
+            # batch: BFS distances from all mapped sources (chunked)
+            dil = self._bfs_dilations(edges)
+            cong = self._congestion_via_paths(edges)
+        else:
+            dil = []
+            cong_counter: Counter = Counter()
+            for gu, gv in edges:
+                p = self.host_path(gu, gv)
+                dil.append(len(p) - 1)
+                for a, b in zip(p, p[1:]):
+                    cong_counter[(min(a, b), max(a, b))] += 1
+            dil = np.asarray(dil)
+            cong = max(cong_counter.values())
+        return EmbeddingReport(
+            dilation=int(dil.max()),
+            avg_dilation=float(dil.mean()),
+            congestion=int(cong),
+            expansion=self.host.num_nodes / self.guest.num_nodes,
+            num_guest_edges=len(edges),
+        )
+
+    def _bfs_dilations(self, edges) -> np.ndarray:
+        srcs = sorted({int(self.node_map[u]) for u, _ in edges})
+        pos = {s: i for i, s in enumerate(srcs)}
+        out = np.empty(len(edges), dtype=np.int64)
+        chunk = 64
+        dist_rows: dict[int, np.ndarray] = {}
+        for start in range(0, len(srcs), chunk):
+            block = srcs[start : start + chunk]
+            d = bfs_distances(self.host, block)
+            for i, s in enumerate(block):
+                dist_rows[s] = d[i]
+        for k, (gu, gv) in enumerate(edges):
+            out[k] = dist_rows[int(self.node_map[gu])][int(self.node_map[gv])]
+        if (out < 0).any():
+            raise ValueError("host cannot realize some guest edge (disconnected)")
+        return out
+
+    def _congestion_via_paths(self, edges) -> int:
+        counter: Counter = Counter()
+        for gu, gv in edges:
+            p = shortest_path(self.host, int(self.node_map[gu]), int(self.node_map[gv]))
+            for a, b in zip(p, p[1:]):
+                counter[(min(a, b), max(a, b))] += 1
+        return max(counter.values()) if counter else 0

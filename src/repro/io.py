@@ -1,0 +1,88 @@
+"""Persistence: save and load networks as portable ``.npz`` archives.
+
+Large generated topologies (and their module assignments) can be expensive
+to rebuild; this module serializes any :class:`~repro.core.network.Network`
+— including :class:`~repro.core.ipgraph.IPGraph` arc attribution and
+generator permutations — to a single compressed NumPy archive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.ipgraph import Generator, IPGraph
+from repro.core.network import Network
+from repro.core.permutation import Permutation
+
+__all__ = ["save_network", "load_network"]
+
+_FORMAT_VERSION = 1
+
+
+def save_network(net: Network, path: str | Path) -> Path:
+    """Serialize ``net`` to ``path`` (``.npz`` appended if missing).
+
+    Labels are stored as JSON (they are tuples of ints/strings); arcs and
+    generator metadata as integer arrays.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    payload: dict = {
+        "version": np.int64(_FORMAT_VERSION),
+        "name": np.bytes_(net.name.encode()),
+        "directed": np.bool_(net.directed),
+        "labels_json": np.bytes_(json.dumps(net.labels).encode()),
+        "edges_src": net.edges_src,
+        "edges_dst": net.edges_dst,
+    }
+    if isinstance(net, IPGraph):
+        payload["is_ipgraph"] = np.bool_(True)
+        payload["edges_gen"] = net.edges_gen
+        payload["seed_json"] = np.bytes_(json.dumps(list(net.seed)).encode())
+        payload["gen_imgs"] = np.asarray(
+            [g.perm.img for g in net.generators], dtype=np.int64
+        )
+        payload["gen_meta_json"] = np.bytes_(
+            json.dumps([[g.name, g.kind] for g in net.generators]).encode()
+        )
+    else:
+        payload["is_ipgraph"] = np.bool_(False)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def _tuplify(obj):
+    if isinstance(obj, list):
+        return tuple(_tuplify(x) for x in obj)
+    return obj
+
+
+def load_network(path: str | Path) -> Network:
+    """Load a network saved by :func:`save_network`."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported archive version {version}")
+        name = bytes(data["name"]).decode()
+        directed = bool(data["directed"])
+        labels = [_tuplify(lab) for lab in json.loads(bytes(data["labels_json"]).decode())]
+        src = data["edges_src"]
+        dst = data["edges_dst"]
+        if bool(data["is_ipgraph"]):
+            gen_imgs = data["gen_imgs"]
+            meta = json.loads(bytes(data["gen_meta_json"]).decode())
+            gens = [
+                Generator(Permutation(img), name=nm, kind=kind)
+                for img, (nm, kind) in zip(gen_imgs, meta)
+            ]
+            seed = _tuplify(json.loads(bytes(data["seed_json"]).decode()))
+            edges = np.column_stack([src, dst, data["edges_gen"]])
+            return IPGraph(labels, gens, edges, name=name, seed=seed, directed=directed)
+        return Network(labels, src, dst, name=name, directed=directed)

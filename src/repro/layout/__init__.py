@@ -1,0 +1,15 @@
+"""VLSI grid layouts and wire-cost estimation (paper §5 / reference [31])."""
+
+from .grid import (
+    GridLayout,
+    gray_code_layout,
+    recursive_module_layout,
+    row_major_layout,
+)
+
+__all__ = [
+    "gray_code_layout",
+    "GridLayout",
+    "recursive_module_layout",
+    "row_major_layout",
+]

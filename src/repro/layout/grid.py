@@ -1,0 +1,177 @@
+"""2-D grid layouts and wire-cost estimation.
+
+Section 5 opens with implementation issues — pin limitations, wire lengths,
+packaging hierarchies — and the authors' companion paper (reference [31],
+*The recursive grid layout scheme for VLSI layout of hierarchical
+networks*) lays hierarchical networks out by placing each module in a
+compact block and recursing.  This package implements that idea:
+
+* :class:`GridLayout` — node positions on an integer grid, with Manhattan
+  wire lengths, bounding-box area, and *track congestion* (the maximum
+  number of wires crossing a vertical or horizontal cut — a standard
+  proxy for layout area, since area ≳ congestion²);
+* :func:`row_major_layout` — the naive baseline;
+* :func:`recursive_module_layout` — the recursive grid scheme: modules
+  become √M-side blocks arranged in a near-square super-grid, so
+  intra-module wires stay short and only inter-module wires are long;
+* :func:`gray_code_layout` — the classic low-wire-length hypercube layout.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.metrics.clustering import ModuleAssignment
+
+__all__ = [
+    "GridLayout",
+    "row_major_layout",
+    "recursive_module_layout",
+    "gray_code_layout",
+]
+
+
+class GridLayout:
+    """An assignment of network nodes to distinct integer grid points."""
+
+    def __init__(self, net: Network, positions: np.ndarray, name: str = "layout"):
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.shape != (net.num_nodes, 2):
+            raise ValueError("positions must be (N, 2)")
+        keys = {(int(x), int(y)) for x, y in positions}
+        if len(keys) != net.num_nodes:
+            raise ValueError("positions must be distinct")
+        self.net = net
+        self.positions = positions
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def _edges(self) -> tuple[np.ndarray, np.ndarray]:
+        csr = self.net.adjacency_csr()
+        coo = csr.tocoo()
+        mask = coo.row < coo.col
+        return coo.row[mask], coo.col[mask]
+
+    def wire_lengths(self) -> np.ndarray:
+        """Manhattan length of every simple edge."""
+        src, dst = self._edges()
+        d = np.abs(self.positions[src] - self.positions[dst]).sum(axis=1)
+        return d.astype(np.int64)
+
+    @property
+    def max_wire_length(self) -> int:
+        """Longest wire — §5's off-chip driver-cost proxy."""
+        w = self.wire_lengths()
+        return int(w.max()) if len(w) else 0
+
+    @property
+    def total_wire_length(self) -> int:
+        """Total wiring — a first-order layout-cost proxy."""
+        return int(self.wire_lengths().sum())
+
+    @property
+    def bounding_area(self) -> int:
+        """Bounding-box area (grid cells)."""
+        span = self.positions.max(axis=0) - self.positions.min(axis=0) + 1
+        return int(span[0] * span[1])
+
+    def cut_congestion(self) -> int:
+        """Maximum number of wires crossing any vertical or horizontal
+        grid cut (wires routed as bounding intervals — a lower bound on
+        track demand, so ``area >= Ω(congestion²)``)."""
+        src, dst = self._edges()
+        best = 0
+        for axis in (0, 1):
+            a = self.positions[src, axis]
+            b = self.positions[dst, axis]
+            lo = np.minimum(a, b)
+            hi = np.maximum(a, b)
+            span_max = int(self.positions[:, axis].max())
+            # wires crossing cut at x+0.5 are those with lo <= x < hi
+            events = np.zeros(span_max + 2, dtype=np.int64)
+            np.add.at(events, lo, 1)
+            np.add.at(events, hi, -1)
+            crossing = np.cumsum(events)[:-1]
+            if len(crossing):
+                best = max(best, int(crossing.max()))
+        return best
+
+    def summary(self) -> dict:
+        """All wire-cost figures in one dict."""
+        w = self.wire_lengths()
+        return {
+            "layout": self.name,
+            "N": self.net.num_nodes,
+            "area": self.bounding_area,
+            "max wire": self.max_wire_length,
+            "total wire": self.total_wire_length,
+            "mean wire": round(float(w.mean()), 3) if len(w) else 0.0,
+            "congestion": self.cut_congestion(),
+        }
+
+
+# ----------------------------------------------------------------------
+# layout strategies
+# ----------------------------------------------------------------------
+def row_major_layout(net: Network, width: int | None = None) -> GridLayout:
+    """Nodes in id order, row-major in a near-square grid (the baseline)."""
+    n = net.num_nodes
+    w = width or math.ceil(math.sqrt(n))
+    pos = np.stack([np.arange(n) % w, np.arange(n) // w], axis=1)
+    return GridLayout(net, pos, name=f"row-major({net.name})")
+
+
+def recursive_module_layout(net: Network, assignment: ModuleAssignment) -> GridLayout:
+    """The recursive grid scheme: one compact block per module.
+
+    Each module's nodes fill a ⌈√M⌉-wide block in (local) row-major order;
+    the blocks are arranged in a near-square grid of modules.  Intra-module
+    wires then have length O(√M) while only the (few, for super-IP graphs)
+    inter-module wires span blocks — which is why hierarchical networks lay
+    out so economically (reference [31]).
+    """
+    if assignment.net is not net:
+        raise ValueError("assignment does not belong to this network")
+    sizes = assignment.module_sizes
+    block_side = math.ceil(math.sqrt(int(sizes.max())))
+    k = assignment.num_modules
+    super_side = math.ceil(math.sqrt(k))
+    pos = np.empty((net.num_nodes, 2), dtype=np.int64)
+    for m in range(k):
+        bx = (m % super_side) * block_side
+        by = (m // super_side) * block_side
+        members = assignment.members(m)
+        for j, node in enumerate(members):
+            pos[node] = (bx + j % block_side, by + j // block_side)
+    return GridLayout(net, pos, name=f"recursive({net.name})")
+
+
+def gray_code_layout(n: int) -> GridLayout:
+    """Classic hypercube grid layout: split the address into two halves and
+    place by Gray codes, making every cube edge a short straight wire in
+    one dimension."""
+    from repro.networks.classic import hypercube
+
+    net = hypercube(n)
+    hi_bits = n // 2
+    lo_bits = n - hi_bits
+
+    def gray_rank(v: int, bits: int) -> int:
+        # position of value v in the Gray-code sequence of `bits` bits
+        # (inverse Gray code)
+        g = v
+        out = 0
+        while g:
+            out ^= g
+            g >>= 1
+        return out % (1 << bits) if bits else 0
+
+    pos = np.empty((net.num_nodes, 2), dtype=np.int64)
+    for v in range(net.num_nodes):
+        hi = v >> lo_bits
+        lo = v & ((1 << lo_bits) - 1)
+        pos[v] = (gray_rank(lo, lo_bits), gray_rank(hi, hi_bits))
+    return GridLayout(net, pos, name=f"gray(Q{n})")

@@ -1,0 +1,137 @@
+"""Bisection width: exact (small), spectral bounds, and known formulas.
+
+Section 5.1: "low-dimensional k-ary n-cubes outperform super-IP graphs
+under the constant bisection-bandwidth constraint; while super-IP graphs
+outperform k-ary n-cubes and hypercubes under constant pin-out
+constraint."  To test that statement we need bisection widths:
+
+* :func:`exact_bisection_width` — brute force over balanced cuts (tiny N);
+* :func:`fiedler_bisection` — Fiedler-vector split, an upper bound that is
+  tight for the structured networks used here;
+* :func:`known_bisection_width` — closed forms for the classic families.
+
+The normalized comparison of §5.1 is
+:func:`constant_bisection_latency_score`: with total bisection bandwidth
+fixed, per-link width scales as 1/bisection, making the effective latency
+score ``degree × diameter × bisection / N`` — low-dimensional tori shine;
+under constant pin-out the ID-cost rules instead (Figure 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.network import Network
+
+__all__ = [
+    "exact_bisection_width",
+    "fiedler_bisection",
+    "known_bisection_width",
+    "constant_bisection_latency_score",
+]
+
+
+def _cut_width(csr: sp.csr_matrix, side: np.ndarray) -> int:
+    coo = csr.tocoo()
+    mask = side[coo.row] & ~side[coo.col]
+    return int(mask.sum())
+
+
+def exact_bisection_width(net: Network, limit: int = 20) -> int:
+    """Minimum edge cut over all balanced bipartitions (brute force).
+
+    ``N`` must be ≤ ``limit`` (the search is C(N, N/2)/2 cuts).  For odd N
+    the halves differ by one node, per the usual definition.
+    """
+    n = net.num_nodes
+    if n > limit:
+        raise ValueError(f"exact bisection limited to {limit} nodes")
+    if n < 2:
+        return 0
+    csr = net.adjacency_csr()
+    half = n // 2
+    best = None
+    nodes = list(range(1, n))  # fix node 0 on side A to halve the search
+    for rest in itertools.combinations(nodes, half - 1 if n % 2 == 0 else half):
+        side = np.zeros(n, dtype=bool)
+        side[0] = True
+        side[list(rest)] = True
+        w = _cut_width(csr, side)
+        if best is None or w < best:
+            best = w
+    return int(best)
+
+
+def fiedler_bisection(net: Network) -> tuple[int, np.ndarray]:
+    """Balanced bipartition from the Fiedler vector; returns
+    ``(cut_width, side_mask)``.  An upper bound on the bisection width."""
+    n = net.num_nodes
+    if n < 4:
+        side = np.zeros(n, dtype=bool)
+        side[: n // 2] = True
+        return _cut_width(net.adjacency_csr(), side), side
+    csr = net.adjacency_csr().astype(np.float64)
+    deg = np.asarray(csr.sum(axis=1)).ravel()
+    lap = sp.diags(deg) - csr
+    try:
+        vals, vecs = sp.linalg.eigsh(lap, k=2, which="SM", maxiter=5000)
+        fiedler = vecs[:, np.argsort(vals)[1]]
+    except Exception:  # eigsh may stagnate on tiny/structured graphs
+        dense = lap.toarray()
+        vals, vecs = np.linalg.eigh(dense)
+        fiedler = vecs[:, 1]
+    order = np.argsort(fiedler)
+    side = np.zeros(n, dtype=bool)
+    side[order[: n // 2]] = True
+    return _cut_width(net.adjacency_csr(), side), side
+
+
+def known_bisection_width(family: str, **params) -> int:
+    """Closed-form bisection widths for the classic families.
+
+    Supported: ``hypercube(n)``, ``ring(n)``, ``torus2d(k)`` (k even),
+    ``ccc(n)``, ``complete(n)``.
+    """
+    if family == "hypercube":
+        return 1 << (params["n"] - 1)
+    if family == "ring":
+        return 2
+    if family == "torus2d":
+        k = params["k"]
+        if k % 2:
+            raise ValueError("torus2d closed form needs even k")
+        return 2 * k
+    if family == "ccc":
+        # Theta(N / (2 log N)) = 2^{n-1} links through the cube bisection
+        return 1 << (params["n"] - 1)
+    if family == "complete":
+        n = params["n"]
+        return (n // 2) * (n - n // 2)
+    raise KeyError(f"no closed form for family {family!r}")
+
+
+def constant_bisection_latency_score(
+    diameter: float, bisection: float, message_factor: float = 1.0
+) -> float:
+    """Latency figure of merit under a *fixed total bisection bandwidth*
+    (the Dally 1990 / Agarwal 1991 wire-limited analysis the paper cites).
+
+    With ``W`` total wires allowed across the midline, a topology needing
+    ``B`` crossing channels gets per-channel width ``W/B``, so a message of
+    ``M`` bits costs ``M·B/W`` serialization cycles on top of the ``D``
+    routing hops:
+
+        score = diameter + bisection · message_factor   (message_factor = M/W)
+
+    Low-dimensional tori (small B) win this metric; hypercubes and other
+    high-bisection networks lose — which is §5.1's first clause.  Under the
+    constant *pin-out* constraint the ID-cost of Figure 4 rules instead,
+    and there the super-IP graphs win.
+    """
+    if bisection <= 0:
+        raise ValueError("bisection must be positive")
+    return diameter + bisection * message_factor

@@ -1,0 +1,328 @@
+"""Module (cluster) assignment and inter-cluster metrics — Section 5.
+
+The paper evaluates hierarchical networks by assigning nodes to physical
+modules (chips/boards) and measuring how much communication crosses module
+boundaries:
+
+* **I-degree** (inter-cluster degree): the maximum over modules of the
+  average number of off-module links per node in that module (§5.3);
+* **I-diameter**: the maximum over node pairs of the minimum number of
+  off-module link traversals needed to route between them (§5.2);
+* **average I-distance**: the same quantity averaged over all ordered pairs.
+
+For super-IP graphs the canonical assignment places each *nucleus copy*
+(the set of nodes connected by nucleus-generator edges alone) in one module;
+then the off-module links are exactly the super-generator links.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.ipgraph import IPGraph
+from repro.core.network import Network
+
+from .distances import as_csr, bfs_distances
+
+__all__ = [
+    "ModuleAssignment",
+    "nucleus_modules",
+    "modules_by_key",
+    "subcube_modules",
+    "contiguous_modules",
+    "split_modules",
+    "intercluster_degree",
+    "offmodule_links_per_node",
+    "intercluster_distances",
+    "intercluster_diameter",
+    "average_intercluster_distance",
+    "InterclusterSummary",
+    "intercluster_summary",
+]
+
+
+class ModuleAssignment:
+    """An assignment of network nodes to modules.
+
+    Attributes
+    ----------
+    module_of:
+        int array, ``module_of[node] = module id`` (0-based, contiguous).
+    """
+
+    def __init__(self, net: Network, module_of: np.ndarray, name: str = "modules"):
+        module_of = np.asarray(module_of, dtype=np.int64)
+        if module_of.shape != (net.num_nodes,):
+            raise ValueError("module assignment length != number of nodes")
+        # renumber to contiguous 0..M-1 preserving first-appearance order
+        _, inverse = np.unique(module_of, return_inverse=True)
+        self.net = net
+        self.module_of = inverse.astype(np.int64)
+        self.num_modules = int(inverse.max()) + 1 if len(inverse) else 0
+        self.name = name
+
+    def __repr__(self) -> str:
+        return (
+            f"ModuleAssignment({self.name!r}, modules={self.num_modules}, "
+            f"max_size={self.max_module_size})"
+        )
+
+    @property
+    def module_sizes(self) -> np.ndarray:
+        """Node count per module."""
+        return np.bincount(self.module_of, minlength=self.num_modules)
+
+    @property
+    def max_module_size(self) -> int:
+        """Largest module size (the figure captions bound this)."""
+        return int(self.module_sizes.max()) if self.num_modules else 0
+
+    def members(self, module: int) -> np.ndarray:
+        """Node ids belonging to ``module``."""
+        return np.nonzero(self.module_of == module)[0]
+
+    def modules_internally_connected(self) -> bool:
+        """True iff every module induces a connected subgraph.
+
+        When this holds, inter-cluster distances equal distances in the
+        module quotient graph, which is how
+        :func:`intercluster_distances` computes them exactly and fast.
+        """
+        csr = self.net.adjacency_csr()
+        mod = self.module_of
+        for m in range(self.num_modules):
+            nodes = np.nonzero(mod == m)[0]
+            if len(nodes) <= 1:
+                continue
+            node_set = set(nodes.tolist())
+            seen = {int(nodes[0])}
+            stack = [int(nodes[0])]
+            while stack:
+                u = stack.pop()
+                for v in csr.indices[csr.indptr[u] : csr.indptr[u + 1]]:
+                    v = int(v)
+                    if v in node_set and v not in seen:
+                        seen.add(v)
+                        stack.append(v)
+            if len(seen) != len(nodes):
+                return False
+        return True
+
+    def quotient_csr(self) -> sp.csr_matrix:
+        """0/1 adjacency of the module quotient graph (loops removed)."""
+        csr = self.net.adjacency_csr()
+        coo = csr.tocoo()
+        ms = self.module_of[coo.row]
+        md = self.module_of[coo.col]
+        keep = ms != md
+        k = self.num_modules
+        mat = sp.coo_matrix(
+            (np.ones(int(keep.sum()), dtype=np.int8), (ms[keep], md[keep])),
+            shape=(k, k),
+        ).tocsr()
+        mat.sum_duplicates()
+        mat.data[:] = 1
+        return mat
+
+
+# ----------------------------------------------------------------------
+# assignment strategies
+# ----------------------------------------------------------------------
+def nucleus_modules(graph: IPGraph) -> ModuleAssignment:
+    """One module per nucleus copy (§5.3's canonical super-IP clustering).
+
+    Modules are the connected components of the subgraph formed by
+    nucleus-kind generator arcs; requires an IP graph built with nucleus /
+    super generator attribution (see :mod:`repro.core.superip`).
+    """
+    kinds = graph.edge_kinds()
+    src = graph.edges_src[kinds == 0]
+    dst = graph.edges_dst[kinds == 0]
+    if len(src) == 0:
+        raise ValueError("graph has no nucleus-kind generators")
+    n = graph.num_nodes
+    adj = sp.coo_matrix(
+        (np.ones(len(src), dtype=np.int8), (src, dst)), shape=(n, n)
+    ).tocsr()
+    ncomp, comp = sp.csgraph.connected_components(adj, directed=False)
+    return ModuleAssignment(graph, comp, name="nucleus")
+
+
+def modules_by_key(net: Network, key_fn) -> ModuleAssignment:
+    """Group nodes by ``key_fn(label)``."""
+    keys: dict = {}
+    module_of = np.empty(net.num_nodes, dtype=np.int64)
+    for i, lab in enumerate(net.labels):
+        k = key_fn(lab)
+        module_of[i] = keys.setdefault(k, len(keys))
+    return ModuleAssignment(net, module_of, name="by-key")
+
+
+def subcube_modules(net: Network, low_bits: int) -> ModuleAssignment:
+    """Hypercube clustering: one module per ``low_bits``-subcube.
+
+    Node labels must be bit tuples; nodes sharing all but the last
+    ``low_bits`` coordinates share a module (the paper's "place a 3- or
+    4-cube in each module").
+    """
+    return modules_by_key(net, lambda lab: tuple(lab[:-low_bits]) if low_bits else tuple(lab))
+
+
+def contiguous_modules(net: Network, module_size: int) -> ModuleAssignment:
+    """Chop node ids into consecutive blocks of ``module_size`` (e.g. ring
+    segments); the natural clustering for rings and meshes in row-major
+    label order."""
+    if module_size < 1:
+        raise ValueError("module_size must be positive")
+    ids = np.arange(net.num_nodes) // module_size
+    return ModuleAssignment(net, ids, name=f"contiguous({module_size})")
+
+
+def split_modules(assignment: ModuleAssignment, max_size: int) -> ModuleAssignment:
+    """Split oversized modules into chunks of at most ``max_size`` nodes.
+
+    Used to honor the figures' "at most K processors per module" caption
+    when a nucleus copy exceeds K: each module is subdivided along its node
+    ordering (for hypercube nuclei in bit-tuple label order this cuts along
+    subcubes, matching the paper's sub-partitioning).
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be positive")
+    mod = assignment.module_of
+    new_ids = np.empty_like(mod)
+    next_id = 0
+    for m in range(assignment.num_modules):
+        nodes = np.nonzero(mod == m)[0]
+        for start in range(0, len(nodes), max_size):
+            new_ids[nodes[start : start + max_size]] = next_id
+            next_id += 1
+    return ModuleAssignment(assignment.net, new_ids, name=f"{assignment.name}|<={max_size}")
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def offmodule_links_per_node(assignment: ModuleAssignment) -> np.ndarray:
+    """Number of off-module simple edges incident to each node."""
+    csr = assignment.net.adjacency_csr()
+    coo = csr.tocoo()
+    off = assignment.module_of[coo.row] != assignment.module_of[coo.col]
+    return np.bincount(coo.row[off], minlength=assignment.net.num_nodes).astype(np.int64)
+
+
+def intercluster_degree(assignment: ModuleAssignment) -> float:
+    """I-degree (§5.3): max over modules of the average per-node number of
+    off-module links."""
+    off = offmodule_links_per_node(assignment)
+    mod = assignment.module_of
+    sums = np.bincount(mod, weights=off, minlength=assignment.num_modules)
+    sizes = assignment.module_sizes
+    return float((sums / sizes).max())
+
+
+def intercluster_distances(
+    assignment: ModuleAssignment, validate: bool = True
+) -> np.ndarray:
+    """Minimum off-module hop counts between all module pairs.
+
+    Exact when modules are internally connected (then the minimum number of
+    off-module traversals between two nodes equals the distance between
+    their modules in the quotient graph).  With ``validate=True`` this
+    precondition is checked and a 0/1-weighted search is used as a fallback
+    when it fails.
+
+    Returns an ``(M, M)`` int array over modules.
+    """
+    if validate and not assignment.modules_internally_connected():
+        return _zero_one_intermodule_distances(assignment)
+    q = assignment.quotient_csr()
+    return bfs_distances(q, np.arange(q.shape[0]))
+
+
+def _zero_one_intermodule_distances(assignment: ModuleAssignment) -> np.ndarray:
+    """0/1-BFS fallback: per-module distances when modules are disconnected
+    internally (off-module edges cost 1, on-module edges cost 0)."""
+    csr = assignment.net.adjacency_csr()
+    mod = assignment.module_of
+    n = assignment.net.num_nodes
+    k = assignment.num_modules
+    out = np.full((k, k), -1, dtype=np.int64)
+    indptr, indices = csr.indptr, csr.indices
+    for m in range(k):
+        dist = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        dq: deque[int] = deque()
+        for u in np.nonzero(mod == m)[0]:
+            dist[u] = 0
+            dq.appendleft(int(u))
+        while dq:
+            u = dq.popleft()
+            du = dist[u]
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                w = 0 if mod[v] == mod[u] else 1
+                if du + w < dist[v]:
+                    dist[v] = du + w
+                    if w == 0:
+                        dq.appendleft(int(v))
+                    else:
+                        dq.append(int(v))
+        for mm in range(k):
+            sel = dist[mod == mm]
+            out[m, mm] = int(sel.min()) if len(sel) else -1
+    return out
+
+
+def intercluster_diameter(assignment: ModuleAssignment) -> int:
+    """I-diameter (§5.2): max over node pairs of minimum off-module hops."""
+    d = intercluster_distances(assignment)
+    if (d < 0).any():
+        raise ValueError("network is disconnected across modules")
+    return int(d.max())
+
+
+def average_intercluster_distance(assignment: ModuleAssignment) -> float:
+    """Average I-distance over ordered pairs of distinct nodes (§5.2).
+
+    Weighted by module sizes: a pair inside one module contributes 0.
+    """
+    d = intercluster_distances(assignment)
+    if (d < 0).any():
+        raise ValueError("network is disconnected across modules")
+    sizes = assignment.module_sizes.astype(np.float64)
+    n = float(assignment.net.num_nodes)
+    total = float(sizes @ d @ sizes)  # pairs within a module add 0
+    denom = n * (n - 1.0)
+    return total / denom if denom else 0.0
+
+
+class InterclusterSummary:
+    """I-degree, I-diameter and average I-distance for one clustering."""
+
+    __slots__ = ("i_degree", "i_diameter", "avg_i_distance", "num_modules", "max_module_size")
+
+    def __init__(self, i_degree, i_diameter, avg_i_distance, num_modules, max_module_size):
+        self.i_degree = i_degree
+        self.i_diameter = i_diameter
+        self.avg_i_distance = avg_i_distance
+        self.num_modules = num_modules
+        self.max_module_size = max_module_size
+
+    def __repr__(self) -> str:
+        return (
+            f"InterclusterSummary(i_degree={self.i_degree:.3f}, "
+            f"i_diameter={self.i_diameter}, avg_i_distance={self.avg_i_distance:.3f}, "
+            f"modules={self.num_modules}, max_size={self.max_module_size})"
+        )
+
+
+def intercluster_summary(assignment: ModuleAssignment) -> InterclusterSummary:
+    """All Section-5 inter-cluster metrics in one call."""
+    return InterclusterSummary(
+        i_degree=intercluster_degree(assignment),
+        i_diameter=intercluster_diameter(assignment),
+        avg_i_distance=average_intercluster_distance(assignment),
+        num_modules=assignment.num_modules,
+        max_module_size=assignment.max_module_size,
+    )

@@ -1,0 +1,216 @@
+"""Distance metrics: BFS distances, diameter, average distance.
+
+These kernels operate on any :class:`repro.core.network.Network` (or a raw
+CSR adjacency).  They are the measurement side of the paper's topological
+comparisons: diameter and average distance feed the DD-cost of Figure 2 and
+the latency model of Section 5.
+
+Implementation notes (per the HPC-Python guides): distances are computed
+with vectorized frontier expansion on the CSR structure arrays — no Python
+per-edge loops — and all-pairs sweeps are chunked so memory stays bounded.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.network import Network
+
+__all__ = [
+    "approx_average_distance",
+    "as_csr",
+    "bfs_distances",
+    "single_source_distances",
+    "eccentricities",
+    "diameter",
+    "average_distance",
+    "distance_histogram",
+    "is_connected",
+    "DistanceSummary",
+    "distance_summary",
+]
+
+_UNREACHED = -1
+
+
+def as_csr(net: Network | sp.spmatrix) -> sp.csr_matrix:
+    """Coerce a Network or sparse matrix to simple CSR adjacency."""
+    if isinstance(net, Network):
+        return net.adjacency_csr()
+    return sp.csr_matrix(net)
+
+
+def bfs_distances(
+    net: Network | sp.spmatrix, sources: Sequence[int] | np.ndarray
+) -> np.ndarray:
+    """Hop distances from each source to every node.
+
+    Returns an ``(S, N)`` int array; unreachable entries are ``-1``.
+
+    The BFS expands all sources simultaneously level by level using boolean
+    frontier masks and CSR gathers, which is far faster in NumPy than
+    per-node queue BFS for the graph sizes used here.
+    """
+    csr = as_csr(net)
+    n = csr.shape[0]
+    sources = np.asarray(sources, dtype=np.int64)
+    s = len(sources)
+    dist = np.full((s, n), _UNREACHED, dtype=np.int32)
+    dist[np.arange(s), sources] = 0
+    frontier = np.zeros((s, n), dtype=bool)
+    frontier[np.arange(s), sources] = True
+    level = 0
+    while frontier.any():
+        level += 1
+        # one sparse matmul expands every source's frontier simultaneously
+        reached = (sp.csr_matrix(frontier, dtype=np.int8) @ csr).toarray() > 0
+        frontier = reached & (dist == _UNREACHED)
+        dist[frontier] = level
+    return dist
+
+
+def single_source_distances(net: Network | sp.spmatrix, source: int = 0) -> np.ndarray:
+    """Hop distances from one source (1-D int array, ``-1`` unreachable)."""
+    return bfs_distances(net, [source])[0]
+
+
+def eccentricities(
+    net: Network | sp.spmatrix,
+    sources: Iterable[int] | None = None,
+    chunk: int = 64,
+) -> np.ndarray:
+    """Eccentricity (max finite distance) of each source node.
+
+    Raises ``ValueError`` if the graph is disconnected (an eccentricity
+    would be infinite).
+    """
+    csr = as_csr(net)
+    n = csr.shape[0]
+    src = np.arange(n) if sources is None else np.asarray(list(sources), dtype=np.int64)
+    out = np.empty(len(src), dtype=np.int64)
+    for start in range(0, len(src), chunk):
+        block = src[start : start + chunk]
+        d = bfs_distances(csr, block)
+        if (d == _UNREACHED).any():
+            raise ValueError("graph is disconnected; eccentricity undefined")
+        out[start : start + len(block)] = d.max(axis=1)
+    return out
+
+
+def diameter(
+    net: Network | sp.spmatrix,
+    assume_vertex_transitive: bool = False,
+    chunk: int = 64,
+) -> int:
+    """Exact diameter (max over node pairs of hop distance).
+
+    With ``assume_vertex_transitive=True`` a single BFS suffices (all
+    eccentricities are equal in a vertex-transitive graph); the paper's
+    symmetric super-IP graphs and all classic Cayley-graph networks qualify.
+    """
+    if assume_vertex_transitive:
+        return int(eccentricities(net, sources=[0])[0])
+    return int(eccentricities(net, chunk=chunk).max())
+
+
+def average_distance(
+    net: Network | sp.spmatrix,
+    assume_vertex_transitive: bool = False,
+    chunk: int = 64,
+) -> float:
+    """Average hop distance over ordered pairs of distinct nodes."""
+    csr = as_csr(net)
+    n = csr.shape[0]
+    if n < 2:
+        return 0.0
+    if assume_vertex_transitive:
+        d = bfs_distances(csr, [0])
+        if (d == _UNREACHED).any():
+            raise ValueError("graph is disconnected")
+        return float(d.sum()) / (n - 1)
+    total = 0
+    for start in range(0, n, chunk):
+        block = np.arange(start, min(start + chunk, n))
+        d = bfs_distances(csr, block)
+        if (d == _UNREACHED).any():
+            raise ValueError("graph is disconnected")
+        total += int(d.sum())
+    return total / (n * (n - 1))
+
+
+def approx_average_distance(
+    net: Network | sp.spmatrix,
+    samples: int,
+    rng: np.random.Generator,
+) -> float:
+    """Sampled-source estimate of the average distance.
+
+    Runs BFS from ``samples`` uniformly chosen sources; unbiased for the
+    ordered-pair average, and exact when ``samples >= N``.  Use for
+    networks too large for the exhaustive sweep.
+    """
+    csr = as_csr(net)
+    n = csr.shape[0]
+    if n < 2:
+        return 0.0
+    if samples >= n:
+        return average_distance(csr)
+    srcs = rng.choice(n, size=samples, replace=False)
+    d = bfs_distances(csr, srcs)
+    if (d == _UNREACHED).any():
+        raise ValueError("graph is disconnected")
+    return float(d.sum()) / (samples * (n - 1))
+
+
+def distance_histogram(net: Network | sp.spmatrix, source: int = 0) -> dict[int, int]:
+    """Count of nodes at each distance from ``source``."""
+    d = single_source_distances(net, source)
+    vals, counts = np.unique(d[d >= 0], return_counts=True)
+    return {int(v): int(c) for v, c in zip(vals, counts)}
+
+
+def is_connected(net: Network | sp.spmatrix) -> bool:
+    """True iff every node is reachable from node 0 (undirected view)."""
+    csr = as_csr(net)
+    if csr.shape[0] == 0:
+        return True
+    d = single_source_distances(csr, 0)
+    return bool((d >= 0).all())
+
+
+class DistanceSummary:
+    """Summary of the distance structure of a network."""
+
+    __slots__ = ("diameter", "average", "radius", "num_nodes")
+
+    def __init__(self, diameter: int, average: float, radius: int, num_nodes: int):
+        self.diameter = diameter
+        self.average = average
+        self.radius = radius
+        self.num_nodes = num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"DistanceSummary(N={self.num_nodes}, D={self.diameter}, "
+            f"avg={self.average:.3f}, radius={self.radius})"
+        )
+
+
+def distance_summary(
+    net: Network | sp.spmatrix, assume_vertex_transitive: bool = False
+) -> DistanceSummary:
+    """Diameter, average distance and radius in one pass."""
+    csr = as_csr(net)
+    n = csr.shape[0]
+    if assume_vertex_transitive:
+        d = bfs_distances(csr, [0])
+        if (d == _UNREACHED).any():
+            raise ValueError("graph is disconnected")
+        ecc = int(d.max())
+        return DistanceSummary(ecc, float(d.sum()) / max(n - 1, 1), ecc, n)
+    ecc = eccentricities(csr)
+    avg = average_distance(csr)
+    return DistanceSummary(int(ecc.max()), avg, int(ecc.min()), n)

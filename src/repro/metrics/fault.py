@@ -1,0 +1,107 @@
+"""Fault-tolerance attributes: connectivity and degradation under faults.
+
+The paper cites the star graph's "fault tolerance properties" among the
+desirable attributes of Cayley-graph networks, and vertex-symmetric
+(symmetric super-IP) networks are maximally fault tolerant in the classic
+sense (connectivity = degree).  This module measures:
+
+* node/edge connectivity (exact, via networkx max-flow — small graphs);
+* degradation experiments: remove random nodes and track connectivity of
+  the survivors and the diameter of the largest component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.network import Network
+
+__all__ = [
+    "node_connectivity",
+    "edge_connectivity",
+    "is_maximally_fault_tolerant",
+    "random_fault_experiment",
+    "FaultReport",
+]
+
+
+def node_connectivity(net: Network, limit: int = 5000) -> int:
+    """Exact vertex connectivity (networkx max-flow based)."""
+    if net.num_nodes > limit:
+        raise ValueError("graph too large for exact connectivity")
+    import networkx as nx
+
+    return int(nx.node_connectivity(net.to_networkx()))
+
+
+def edge_connectivity(net: Network, limit: int = 5000) -> int:
+    """Exact edge connectivity."""
+    if net.num_nodes > limit:
+        raise ValueError("graph too large for exact connectivity")
+    import networkx as nx
+
+    return int(nx.edge_connectivity(net.to_networkx()))
+
+
+def is_maximally_fault_tolerant(net: Network, limit: int = 5000) -> bool:
+    """True iff node connectivity equals the minimum degree (the best
+    possible) — attained by hypercubes, star graphs, and the symmetric
+    super-IP variants."""
+    return node_connectivity(net, limit) == net.min_degree
+
+
+class FaultReport:
+    """Outcome of a random-fault degradation experiment."""
+
+    __slots__ = ("faults", "trials", "connected_fraction", "mean_largest_component",
+                 "mean_surviving_diameter")
+
+    def __init__(self, faults, trials, connected_fraction, mean_largest_component,
+                 mean_surviving_diameter):
+        self.faults = faults
+        self.trials = trials
+        self.connected_fraction = connected_fraction
+        self.mean_largest_component = mean_largest_component
+        self.mean_surviving_diameter = mean_surviving_diameter
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultReport(faults={self.faults}, connected={self.connected_fraction:.2f}, "
+            f"largest={self.mean_largest_component:.1f}, "
+            f"diameter={self.mean_surviving_diameter:.1f})"
+        )
+
+
+def random_fault_experiment(
+    net: Network, faults: int, trials: int, rng: np.random.Generator
+) -> FaultReport:
+    """Remove ``faults`` random nodes ``trials`` times; report how often the
+    survivors stay connected, the mean largest-component size, and the mean
+    diameter of the largest component."""
+    import networkx as nx
+
+    if faults >= net.num_nodes:
+        raise ValueError("cannot fault every node")
+    g = net.to_networkx()
+    if g.is_directed():
+        g = g.to_undirected()
+    connected = 0
+    largest_sizes = []
+    diameters = []
+    for _ in range(trials):
+        dead = rng.choice(net.num_nodes, size=faults, replace=False)
+        h = g.copy()
+        h.remove_nodes_from(dead.tolist())
+        comps = list(nx.connected_components(h))
+        big = max(comps, key=len)
+        largest_sizes.append(len(big))
+        if len(comps) == 1:
+            connected += 1
+        diameters.append(nx.diameter(h.subgraph(big)))
+    return FaultReport(
+        faults=faults,
+        trials=trials,
+        connected_fraction=connected / trials,
+        mean_largest_component=float(np.mean(largest_sizes)),
+        mean_surviving_diameter=float(np.mean(diameters)),
+    )

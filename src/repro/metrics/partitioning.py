@@ -1,0 +1,72 @@
+"""Generic module partitioning by recursive spectral bisection.
+
+Super-IP graphs have a canonical clustering (one nucleus per module), and
+hypercubes have subcubes — but baseline networks like star graphs need a
+*generic* way to honor the figures' "at most K processors per module"
+caps.  Recursive Fiedler bisection provides one: repeatedly split the
+(sub)graph along its Fiedler vector until every part fits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.network import Network
+
+from .clustering import ModuleAssignment
+
+__all__ = ["spectral_modules"]
+
+
+def _fiedler_split(csr: sp.csr_matrix, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``nodes`` (indices into csr) into two balanced halves along
+    the Fiedler vector of the induced subgraph."""
+    sub = csr[nodes][:, nodes].astype(np.float64)
+    n = len(nodes)
+    deg = np.asarray(sub.sum(axis=1)).ravel()
+    lap = sp.diags(deg) - sub
+    if n <= 64:
+        vals, vecs = np.linalg.eigh(lap.toarray())
+        fiedler = vecs[:, 1]
+    else:
+        try:
+            vals, vecs = sp.linalg.eigsh(lap, k=2, which="SM", maxiter=5000)
+            fiedler = vecs[:, np.argsort(vals)[1]]
+        except Exception:
+            vals, vecs = np.linalg.eigh(lap.toarray())
+            fiedler = vecs[:, 1]
+    order = np.argsort(fiedler, kind="stable")
+    half = n // 2
+    return nodes[order[:half]], nodes[order[half:]]
+
+
+def spectral_modules(net: Network, max_size: int) -> ModuleAssignment:
+    """Recursive spectral bisection until every module has ≤ ``max_size``
+    nodes.
+
+    Modules are *balanced* but not guaranteed internally connected (the
+    inter-cluster metrics fall back to 0/1-BFS automatically when they are
+    not).
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be positive")
+    csr = net.adjacency_csr()
+    module_of = np.zeros(net.num_nodes, dtype=np.int64)
+    next_id = 0
+    stack = [np.arange(net.num_nodes)]
+    parts: list[np.ndarray] = []
+    while stack:
+        nodes = stack.pop()
+        if len(nodes) <= max_size:
+            parts.append(nodes)
+            continue
+        a, b = _fiedler_split(csr, nodes)
+        if len(a) == 0 or len(b) == 0:  # pragma: no cover — degenerate
+            parts.append(nodes)
+            continue
+        stack.append(a)
+        stack.append(b)
+    for pid, nodes in enumerate(parts):
+        module_of[nodes] = pid
+    return ModuleAssignment(net, module_of, name=f"spectral(<={max_size})")

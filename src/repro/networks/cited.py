@@ -1,0 +1,100 @@
+"""Further families from the paper's reference list.
+
+The introduction situates IP graphs among a wider family of designs; three
+of the cited networks are implemented here both for completeness and as
+additional cross-checks of the engine:
+
+* **rotator graphs** (Corbett [9]) — directed Cayley graphs on
+  permutations with prefix-rotation generators: out-degree ``n − 1``,
+  diameter ``n − 1`` (smaller than the star graph's);
+* **star-connected cycles** (Latifi, Azevedo & Bagherzadeh [20]) — the
+  star-graph analog of CCC: each star node becomes an ``(n−1)``-cycle,
+  giving a fixed-degree (3) network;
+* **macro-star networks** (Yeh & Varvarigos [29]) — ``(ℓn+1)!`` nodes with
+  degree ``n + ℓ − 1``: star generators on the first ``n+1`` symbols plus
+  block swaps of the first level with each other level.  A Cayley (hence
+  symmetric super-IP-style) relative of the HSN construction.
+"""
+
+from __future__ import annotations
+
+from repro.core.ipgraph import GENERIC, NUCLEUS, SUPER, Generator, IPGraph, build_ip_graph
+from repro.core.network import Network
+from repro.core.permutation import Permutation, from_cycles, transposition
+
+__all__ = ["rotator_graph", "star_connected_cycles", "macro_star"]
+
+
+def rotator_graph(n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """The directed rotator graph on ``n!`` permutations.
+
+    Generator ``g_i`` rotates the first ``i`` symbols left by one
+    (``x1 x2 .. xi -> x2 .. xi x1``), for ``i = 2..n``; arcs are one-way
+    (the inverse rotations are not generators), out-degree ``n − 1``.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    gens = []
+    for i in range(2, n + 1):
+        img = list(range(n))
+        img[: i] = img[1:i] + img[:1]
+        gens.append(Generator(Permutation(img), name=f"rot{i}", kind=GENERIC))
+    return build_ip_graph(
+        tuple(range(n)), gens, name=f"rotator({n})", max_nodes=max_nodes, directed=True
+    )
+
+
+def star_connected_cycles(n: int) -> Network:
+    """Star-connected cycles SCC(n): fixed degree 3.
+
+    Each node of the ``n``-star is replaced by a cycle of ``n − 1`` nodes;
+    cycle position ``i`` (``1 ≤ i ≤ n−1``) carries the star generator
+    ``(0, i)``: node ``(π, i)`` links to ``(π·(0,i), i)`` plus its cycle
+    neighbors.  ``n!·(n−1)`` nodes, degree 3 for ``n ≥ 4``.
+    """
+    import itertools
+
+    if n < 3:
+        raise ValueError("n must be >= 3")
+    perms = list(itertools.permutations(range(n)))
+    labels = [(p, i) for p in perms for i in range(1, n)]
+    index = {lab: k for k, lab in enumerate(labels)}
+    edges = []
+    for (p, i), k in index.items():
+        # cycle links
+        nxt = i + 1 if i < n - 1 else 1
+        edges.append((k, index[(p, nxt)]))
+        # star link for dimension i: swap positions 0 and i
+        q = list(p)
+        q[0], q[i] = q[i], q[0]
+        edges.append((k, index[(tuple(q), i)]))
+    return Network.from_edge_list(labels, edges, name=f"SCC({n})")
+
+
+def macro_star(l: int, n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """Macro-star network MS(ℓ, n) (Yeh & Varvarigos 1998).
+
+    Labels are permutations of ``ℓ·n + 1`` symbols.  Generators: the star
+    transpositions ``(0, i)`` for ``i = 1..n`` (the nucleus star on the
+    first ``n+1`` symbols) and the *swap* generators exchanging segment
+    ``[1..n]`` with segment ``[jn+1..(j+1)n]`` for ``j = 1..ℓ−1``.
+
+    ``(ℓn+1)!`` nodes, regular degree ``n + ℓ − 1`` — degree and diameter
+    both below the same-size star graph for ``ℓ ≥ 2``.
+    """
+    if l < 1 or n < 1:
+        raise ValueError("l, n must be >= 1")
+    k = l * n + 1
+    gens = [
+        Generator(transposition(k, 0, i), name=f"s{i}", kind=NUCLEUS)
+        for i in range(1, n + 1)
+    ]
+    for j in range(1, l):
+        img = list(range(k))
+        for t in range(n):
+            a, b = 1 + t, 1 + j * n + t
+            img[a], img[b] = img[b], img[a]
+        gens.append(Generator(Permutation(img), name=f"SW{j + 1}", kind=SUPER))
+    return build_ip_graph(
+        tuple(range(k)), gens, name=f"MS({l},{n})", max_nodes=max_nodes
+    )

@@ -1,0 +1,329 @@
+"""Explicit constructions of the baseline interconnection networks.
+
+These are the comparison networks of the paper's Figures 2–5 (rings, tori,
+k-ary n-cubes, hypercubes, folded and generalized hypercubes, star graph,
+de Bruijn, shuffle-exchange, CCC, Petersen, ...) built directly from their
+textbook definitions — independently of the IP-graph engine — so the two
+construction routes can cross-validate each other in the test suite.
+
+All constructors return :class:`repro.core.network.Network` instances with
+meaningful node labels (bit tuples, digit tuples, permutations, ...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.network import Network
+
+__all__ = [
+    "ring",
+    "path",
+    "torus",
+    "kary_ncube",
+    "mesh",
+    "hypercube",
+    "folded_hypercube",
+    "generalized_hypercube",
+    "complete_graph",
+    "petersen",
+    "star_graph",
+    "pancake_graph",
+    "bubble_sort_graph",
+    "debruijn",
+    "kautz",
+    "shuffle_exchange",
+    "cube_connected_cycles",
+    "wrapped_butterfly",
+]
+
+
+# ----------------------------------------------------------------------
+# rings / meshes / tori
+# ----------------------------------------------------------------------
+def ring(n: int) -> Network:
+    """The ``n``-cycle: degree 2, diameter ``⌊n/2⌋``."""
+    if n < 3:
+        raise ValueError("ring needs n >= 3")
+    labels = [(i,) for i in range(n)]
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Network.from_edge_list(labels, edges, name=f"ring({n})")
+
+
+def path(n: int) -> Network:
+    """The ``n``-node path."""
+    if n < 2:
+        raise ValueError("path needs n >= 2")
+    labels = [(i,) for i in range(n)]
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Network.from_edge_list(labels, edges, name=f"path({n})")
+
+
+def torus(dims: Sequence[int]) -> Network:
+    """Multidimensional torus with wraparound in every dimension.
+
+    ``torus([k]*n)`` is the k-ary n-cube; 2D/3D tori are the paper's
+    low-dimensional baselines.
+    """
+    dims = tuple(int(k) for k in dims)
+    if not dims or any(k < 2 for k in dims):
+        raise ValueError("each torus dimension must be >= 2")
+    labels = list(itertools.product(*[range(k) for k in dims]))
+    index = {lab: i for i, lab in enumerate(labels)}
+    edges = []
+    for lab, i in index.items():
+        for d, k in enumerate(dims):
+            nxt = list(lab)
+            nxt[d] = (nxt[d] + 1) % k
+            edges.append((i, index[tuple(nxt)]))
+    name = "torus(" + "x".join(map(str, dims)) + ")"
+    return Network.from_edge_list(labels, edges, name=name)
+
+
+def kary_ncube(k: int, n: int) -> Network:
+    """The k-ary n-cube: ``torus([k] * n)``."""
+    net = torus([k] * n)
+    net.name = f"{k}-ary-{n}-cube"
+    return net
+
+
+def mesh(dims: Sequence[int]) -> Network:
+    """Multidimensional mesh (no wraparound)."""
+    dims = tuple(int(k) for k in dims)
+    if not dims or any(k < 2 for k in dims):
+        raise ValueError("each mesh dimension must be >= 2")
+    labels = list(itertools.product(*[range(k) for k in dims]))
+    index = {lab: i for i, lab in enumerate(labels)}
+    edges = []
+    for lab, i in index.items():
+        for d, k in enumerate(dims):
+            if lab[d] + 1 < k:
+                nxt = list(lab)
+                nxt[d] += 1
+                edges.append((i, index[tuple(nxt)]))
+    name = "mesh(" + "x".join(map(str, dims)) + ")"
+    return Network.from_edge_list(labels, edges, name=name)
+
+
+# ----------------------------------------------------------------------
+# hypercube family
+# ----------------------------------------------------------------------
+def hypercube(n: int) -> Network:
+    """The binary n-cube ``Q_n``; labels are bit tuples in binary order."""
+    if n < 1:
+        raise ValueError("hypercube needs n >= 1")
+    size = 1 << n
+    labels = [tuple((v >> (n - 1 - b)) & 1 for b in range(n)) for v in range(size)]
+    src, dst = [], []
+    for v in range(size):
+        for b in range(n):
+            src.append(v)
+            dst.append(v ^ (1 << b))
+    return Network(labels, src, dst, name=f"Q{n}")
+
+
+def folded_hypercube(n: int) -> Network:
+    """``FQ_n``: hypercube plus complement edges; degree n+1, diameter ⌈n/2⌉."""
+    if n < 1:
+        raise ValueError("folded hypercube needs n >= 1")
+    base = hypercube(n)
+    size = 1 << n
+    mask = size - 1
+    src = list(base.edges_src) + list(range(size))
+    dst = list(base.edges_dst) + [v ^ mask for v in range(size)]
+    return Network(base.labels, src, dst, name=f"FQ{n}")
+
+
+def generalized_hypercube(radices: Sequence[int]) -> Network:
+    """Generalized hypercube: nodes are mixed-radix digit tuples, adjacent
+    iff they differ in exactly one digit (Bhuyan & Agrawal 1984)."""
+    radices = tuple(int(r) for r in radices)
+    if not radices or any(r < 2 for r in radices):
+        raise ValueError("each radix must be >= 2")
+    labels = list(itertools.product(*[range(r) for r in radices]))
+    index = {lab: i for i, lab in enumerate(labels)}
+    edges = []
+    for lab, i in index.items():
+        for d, r in enumerate(radices):
+            for v in range(r):
+                if v != lab[d]:
+                    nxt = list(lab)
+                    nxt[d] = v
+                    edges.append((i, index[tuple(nxt)]))
+    name = "GH(" + ",".join(map(str, radices)) + ")"
+    return Network.from_edge_list(labels, edges, name=name)
+
+
+def complete_graph(n: int) -> Network:
+    """``K_n``."""
+    if n < 2:
+        raise ValueError("complete graph needs n >= 2")
+    labels = [(i,) for i in range(n)]
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Network.from_edge_list(labels, edges, name=f"K{n}")
+
+
+def petersen() -> Network:
+    """The Petersen graph (Kneser graph K(5,2)): 10 nodes, degree 3,
+    diameter 2.  Vertex-transitive but *not* a Cayley graph — used by the
+    paper as a dense fixed-degree nucleus for cyclic Petersen networks."""
+    labels = [tuple(sorted(c)) for c in itertools.combinations(range(5), 2)]
+    index = {lab: i for i, lab in enumerate(labels)}
+    edges = [
+        (i, index[b])
+        for a, i in index.items()
+        for b in labels
+        if set(a).isdisjoint(b) and a < b
+    ]
+    return Network.from_edge_list(labels, edges, name="Petersen")
+
+
+# ----------------------------------------------------------------------
+# permutation networks
+# ----------------------------------------------------------------------
+def _permutation_network(n: int, moves, name: str) -> Network:
+    labels = list(itertools.permutations(range(n)))
+    index = {lab: i for i, lab in enumerate(labels)}
+    edges = []
+    for lab, i in index.items():
+        for mv in moves:
+            edges.append((i, index[mv(lab)]))
+    return Network.from_edge_list(labels, edges, name=name)
+
+
+def star_graph(n: int) -> Network:
+    """The n-star: permutations of n symbols, edges swap position 0 with i."""
+    if n < 2:
+        raise ValueError("star graph needs n >= 2")
+
+    def swap(i):
+        def mv(lab):
+            out = list(lab)
+            out[0], out[i] = out[i], out[0]
+            return tuple(out)
+
+        return mv
+
+    return _permutation_network(n, [swap(i) for i in range(1, n)], f"S{n}")
+
+
+def pancake_graph(n: int) -> Network:
+    """The n-pancake: edges are prefix reversals of length 2..n."""
+    if n < 2:
+        raise ValueError("pancake graph needs n >= 2")
+
+    def flip(i):
+        def mv(lab):
+            return tuple(reversed(lab[:i])) + lab[i:]
+
+        return mv
+
+    return _permutation_network(n, [flip(i) for i in range(2, n + 1)], f"P{n}")
+
+
+def bubble_sort_graph(n: int) -> Network:
+    """The bubble-sort graph: edges swap adjacent positions."""
+    if n < 2:
+        raise ValueError("bubble-sort graph needs n >= 2")
+
+    def swap(i):
+        def mv(lab):
+            out = list(lab)
+            out[i], out[i + 1] = out[i + 1], out[i]
+            return tuple(out)
+
+        return mv
+
+    return _permutation_network(n, [swap(i) for i in range(n - 1)], f"BS{n}")
+
+
+# ----------------------------------------------------------------------
+# shift networks
+# ----------------------------------------------------------------------
+def debruijn(d: int, n: int, directed: bool = False) -> Network:
+    """The de Bruijn graph ``dB(d, n)``: ``d^n`` nodes (strings of length
+    ``n`` over ``d`` symbols), arcs ``x1..xn → x2..xn α``.
+
+    ``directed=False`` (default) returns the undirected simple version whose
+    max degree is ``2d`` (the paper's density baseline)."""
+    if d < 2 or n < 1:
+        raise ValueError("debruijn needs d >= 2, n >= 1")
+    labels = list(itertools.product(range(d), repeat=n))
+    index = {lab: i for i, lab in enumerate(labels)}
+    edges = []
+    for lab, i in index.items():
+        for a in range(d):
+            edges.append((i, index[lab[1:] + (a,)]))
+    return Network.from_edge_list(
+        labels, edges, name=f"dB({d},{n})", directed=directed
+    )
+
+
+def kautz(d: int, n: int, directed: bool = False) -> Network:
+    """The Kautz graph ``K(d, n)``: strings with no two equal consecutive
+    symbols over ``d + 1`` symbols; arcs shift left."""
+    if d < 2 or n < 1:
+        raise ValueError("kautz needs d >= 2, n >= 1")
+    labels = [
+        lab
+        for lab in itertools.product(range(d + 1), repeat=n)
+        if all(lab[i] != lab[i + 1] for i in range(n - 1))
+    ]
+    index = {lab: i for i, lab in enumerate(labels)}
+    edges = []
+    for lab, i in index.items():
+        for a in range(d + 1):
+            if a != lab[-1]:
+                edges.append((i, index[lab[1:] + (a,)]))
+    return Network.from_edge_list(labels, edges, name=f"Kautz({d},{n})", directed=directed)
+
+
+def shuffle_exchange(n: int) -> Network:
+    """The shuffle-exchange network on ``2^n`` bit strings: *shuffle* =
+    rotate left, *exchange* = flip last bit.  Degree ≤ 3."""
+    if n < 1:
+        raise ValueError("shuffle-exchange needs n >= 1")
+    labels = list(itertools.product((0, 1), repeat=n))
+    index = {lab: i for i, lab in enumerate(labels)}
+    edges = []
+    for lab, i in index.items():
+        edges.append((i, index[lab[1:] + lab[:1]]))  # shuffle
+        edges.append((i, index[lab[:-1] + (1 - lab[-1],)]))  # exchange
+    return Network.from_edge_list(labels, edges, name=f"SE{n}")
+
+
+# ----------------------------------------------------------------------
+# bounded-degree cube derivatives
+# ----------------------------------------------------------------------
+def cube_connected_cycles(n: int) -> Network:
+    """CCC(n): each hypercube node replaced by an n-cycle; node ``(x, i)``
+    joins cycle neighbors ``(x, i±1)`` and cube neighbor ``(x ^ 2^i, i)``.
+
+    ``n · 2^n`` nodes, degree 3 (for n ≥ 3)."""
+    if n < 1:
+        raise ValueError("CCC needs n >= 1")
+    labels = [(x, i) for x in range(1 << n) for i in range(n)]
+    index = {lab: k for k, lab in enumerate(labels)}
+    edges = []
+    for (x, i), k in index.items():
+        edges.append((k, index[(x, (i + 1) % n)]))
+        edges.append((k, index[(x ^ (1 << i), i)]))
+    return Network.from_edge_list(labels, edges, name=f"CCC({n})")
+
+
+def wrapped_butterfly(n: int) -> Network:
+    """The wrapped butterfly BF(n): node ``(x, i)`` connects to
+    ``(x, i+1)`` and ``(x ^ 2^i, i+1)`` (levels mod n).  Degree 4."""
+    if n < 2:
+        raise ValueError("wrapped butterfly needs n >= 2")
+    labels = [(x, i) for x in range(1 << n) for i in range(n)]
+    index = {lab: k for k, lab in enumerate(labels)}
+    edges = []
+    for (x, i), k in index.items():
+        j = (i + 1) % n
+        edges.append((k, index[(x, j)]))
+        edges.append((k, index[(x ^ (1 << i), j)]))
+    return Network.from_edge_list(labels, edges, name=f"BF({n})")

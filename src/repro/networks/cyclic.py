@@ -1,0 +1,103 @@
+"""Cyclic-shift networks — CN(l, G) (Section 3.3).
+
+Cyclic-shift networks (also called cyclic networks) are super-IP graphs
+whose super-generators cyclically shift the blocks:
+
+* **ring-CN** (basic-CN): shifts by ±1 only → inter-cluster degree ≤ 2
+  regardless of ``l`` (the paper's fixed-degree headline family);
+* **complete-CN**: all shifts ``L_1 .. L_{l-1}``;
+* **directed CN**: left shift only, giving a digraph.
+
+Symmetric variants have ``l · M^l`` nodes (only the ``l`` rotations of the
+block colors are reachable).
+"""
+
+from __future__ import annotations
+
+from repro.core.ipgraph import IPGraph
+from repro.core.network import Network
+from repro.core.superip import NucleusSpec, SuperGeneratorSet, build_super_ip_graph
+
+from .hier import explicit_super_graph
+from .nuclei import folded_hypercube_nucleus, hypercube_nucleus
+
+__all__ = [
+    "ring_cn",
+    "complete_cn",
+    "directed_cn",
+    "ring_cn_hypercube",
+    "ring_cn_folded_hypercube",
+    "cyclic_petersen_network",
+]
+
+
+def _build(nucleus, sgs, symmetric, max_nodes, name, directed=False):
+    if isinstance(nucleus, NucleusSpec):
+        return build_super_ip_graph(
+            nucleus, sgs, symmetric=symmetric, max_nodes=max_nodes, name=name,
+            directed=directed,
+        )
+    if directed:
+        raise ValueError("directed CN requires a NucleusSpec nucleus")
+    return explicit_super_graph(
+        nucleus, sgs, symmetric=symmetric, max_nodes=max_nodes, name=name
+    )
+
+
+def ring_cn(
+    l: int,
+    nucleus: NucleusSpec | Network,
+    symmetric: bool = False,
+    max_nodes: int = 2_000_000,
+) -> IPGraph:
+    """Ring-CN(l, nucleus): super-generators ``L_1`` and ``R_1``.
+
+    Off-module links per node: 1 when ``l = 2``, 2 when ``l >= 3`` (§5.3).
+    """
+    sgs = SuperGeneratorSet.ring(l)
+    name = f"{'sym-' if symmetric else ''}ring-CN({l},{nucleus.name})"
+    return _build(nucleus, sgs, symmetric, max_nodes, name)
+
+
+def complete_cn(
+    l: int,
+    nucleus: NucleusSpec | Network,
+    symmetric: bool = False,
+    max_nodes: int = 2_000_000,
+) -> IPGraph:
+    """Complete-CN(l, nucleus): all shift super-generators ``L_1 .. L_{l-1}``."""
+    sgs = SuperGeneratorSet.complete_shifts(l)
+    name = f"{'sym-' if symmetric else ''}complete-CN({l},{nucleus.name})"
+    return _build(nucleus, sgs, symmetric, max_nodes, name)
+
+
+def directed_cn(
+    l: int, nucleus: NucleusSpec, max_nodes: int = 2_000_000
+) -> IPGraph:
+    """Directed CN(l, nucleus): the left shift only, as a digraph.
+
+    Nucleus generator arcs remain bidirectional because the nucleus
+    generator set is inverse-closed; only the shift arcs are one-way.
+    """
+    sgs = SuperGeneratorSet.directed_ring(l)
+    name = f"directed-CN({l},{nucleus.name})"
+    return _build(nucleus, sgs, False, max_nodes, name, directed=True)
+
+
+def ring_cn_hypercube(l: int, n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """Ring-CN(l, Q_n) — 'CN(l, Q_n)' in the paper's figures."""
+    return ring_cn(l, hypercube_nucleus(n), max_nodes=max_nodes)
+
+
+def ring_cn_folded_hypercube(l: int, n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """Ring-CN(l, FQ_n) — 'CN(l, FQ_n)' in the paper's figures."""
+    return ring_cn(l, folded_hypercube_nucleus(n), max_nodes=max_nodes)
+
+
+def cyclic_petersen_network(l: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """Ring-CN over the Petersen graph — the cyclic Petersen network family
+    of Yeh & Parhami (ICPP 1999 [32]); built through the explicit-nucleus
+    path since Petersen is not a Cayley graph."""
+    from .classic import petersen
+
+    return ring_cn(l, petersen(), max_nodes=max_nodes)

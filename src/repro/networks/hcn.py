@@ -1,0 +1,70 @@
+"""Hierarchical cubic networks (HCN) and hierarchical folded-hypercube
+networks (HFN), built explicitly from their original definitions.
+
+* **HCN(n, n)** (Ghose & Desai 1995): ``2^n`` clusters of ``2^n``-node
+  hypercubes.  Node ``(I, J)`` has the ``n`` cube links ``(I, J^2^b)``, a
+  *swap* link ``(I, J) ↔ (J, I)`` when ``I ≠ J``, and — in the full
+  network — a *diameter* link ``(I, I) ↔ (Ī, Ī)`` on the diagonal.
+  The paper works with HCN *without* diameter links, which equals
+  ``HSN(2, Q_n)``; this module builds both variants so the equivalence can
+  be tested.
+
+* **HFN(n, n)** (Duh, Chen & Fang 1995): the same two-level swap structure
+  with folded hypercubes as clusters.
+"""
+
+from __future__ import annotations
+
+from repro.core.network import Network
+
+__all__ = ["hcn", "hfn"]
+
+
+def hcn(n: int, diameter_links: bool = True) -> Network:
+    """HCN(n, n): ``4^n`` nodes, labels ``(I, J)`` with ``I`` the cluster
+    and ``J`` the processor id.
+
+    With ``diameter_links=False`` this is exactly HSN(2, Q_n) (tested by
+    isomorphism in the suite).
+    """
+    if n < 1:
+        raise ValueError("HCN needs n >= 1")
+    size = 1 << n
+    mask = size - 1
+    labels = [(i, j) for i in range(size) for j in range(size)]
+    index = {lab: k for k, lab in enumerate(labels)}
+    edges = []
+    for (i, j), k in index.items():
+        for b in range(n):  # local hypercube links
+            edges.append((k, index[(i, j ^ (1 << b))]))
+        if i != j:  # swap link
+            edges.append((k, index[(j, i)]))
+        elif diameter_links:  # diameter link on the diagonal
+            edges.append((k, index[(i ^ mask, j ^ mask)]))
+    name = f"HCN({n},{n})" + ("" if diameter_links else "-nd")
+    return Network.from_edge_list(labels, edges, name=name)
+
+
+def hfn(n: int, diameter_links: bool = True) -> Network:
+    """HFN(n, n): two-level network with folded-hypercube clusters.
+
+    Folded-cube links add the complement edge ``J ↔ J̄`` inside each
+    cluster; swap and (optional) diameter links as in HCN.
+    """
+    if n < 1:
+        raise ValueError("HFN needs n >= 1")
+    size = 1 << n
+    mask = size - 1
+    labels = [(i, j) for i in range(size) for j in range(size)]
+    index = {lab: k for k, lab in enumerate(labels)}
+    edges = []
+    for (i, j), k in index.items():
+        for b in range(n):
+            edges.append((k, index[(i, j ^ (1 << b))]))
+        edges.append((k, index[(i, j ^ mask)]))  # fold link
+        if i != j:
+            edges.append((k, index[(j, i)]))
+        elif diameter_links:
+            edges.append((k, index[(i ^ mask, j ^ mask)]))
+    name = f"HFN({n},{n})" + ("" if diameter_links else "-nd")
+    return Network.from_edge_list(labels, edges, name=name)

@@ -1,0 +1,77 @@
+"""Hierarchical swap networks — HSN(l, G) (Section 3.2).
+
+An HSN(l, G) is the super-IP graph with nucleus ``G`` and the transposition
+super-generators ``T_2 .. T_l`` (swap the leftmost block with block ``i``).
+``HCN(n, n)`` without diameter links equals ``HSN(2, Q_n)``.
+
+Also provides the symmetric HSN of Section 3.5 and the RCC representative
+(HSN over a complete-graph nucleus).
+"""
+
+from __future__ import annotations
+
+from repro.core.ipgraph import IPGraph
+from repro.core.network import Network
+from repro.core.superip import NucleusSpec, SuperGeneratorSet, build_super_ip_graph
+
+from .hier import explicit_super_graph
+from .nuclei import complete_nucleus, hypercube_nucleus, star_nucleus
+
+__all__ = ["hsn", "hsn_hypercube", "symmetric_hsn", "rcc", "macro_star_like"]
+
+
+def hsn(
+    l: int,
+    nucleus: NucleusSpec | Network,
+    symmetric: bool = False,
+    max_nodes: int = 2_000_000,
+) -> IPGraph:
+    """Build HSN(l, nucleus) (or its symmetric variant).
+
+    Parameters
+    ----------
+    l:
+        Number of blocks (levels); ``l >= 2``.
+    nucleus:
+        Either a :class:`~repro.core.superip.NucleusSpec` (built through the
+        IP engine) or an explicit :class:`~repro.core.network.Network`
+        (built through :func:`repro.networks.hier.explicit_super_graph`).
+    symmetric:
+        Build the vertex-symmetric Cayley variant (``l!·M^l`` nodes).
+    """
+    sgs = SuperGeneratorSet.transpositions(l)
+    if isinstance(nucleus, NucleusSpec):
+        return build_super_ip_graph(
+            nucleus, sgs, symmetric=symmetric, max_nodes=max_nodes,
+            name=f"{'sym-' if symmetric else ''}HSN({l},{nucleus.name})",
+        )
+    return explicit_super_graph(
+        nucleus, sgs, symmetric=symmetric, max_nodes=max_nodes,
+        name=f"{'sym-' if symmetric else ''}HSN({l},{nucleus.name})",
+    )
+
+
+def hsn_hypercube(l: int, n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """HSN(l, Q_n) — the family plotted throughout the paper's figures."""
+    return hsn(l, hypercube_nucleus(n), max_nodes=max_nodes)
+
+
+def symmetric_hsn(l: int, nucleus: NucleusSpec, max_nodes: int = 2_000_000) -> IPGraph:
+    """Symmetric HSN(l, nucleus): vertex-symmetric, regular, ``l!·M^l`` nodes."""
+    return hsn(l, nucleus, symmetric=True, max_nodes=max_nodes)
+
+
+def rcc(l: int, m: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """Super-IP representative of recursively connected complete networks
+    (Hamdi 1994): an HSN over the complete-graph nucleus ``K_m``.
+
+    Corollary 4.2 lists RCC among the families with diameter
+    ``(D_G + 1)·log_M N − 1``; with ``D_G = 1`` this gives ``2l − 1``.
+    """
+    return hsn(l, complete_nucleus(m), max_nodes=max_nodes)
+
+
+def macro_star_like(l: int, n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """HSN over a star-graph nucleus — the super-IP relative of the
+    macro-star networks of Yeh & Varvarigos (1998)."""
+    return hsn(l, star_nucleus(n), max_nodes=max_nodes)

@@ -1,0 +1,95 @@
+"""IP-graph representations of classic networks (Section 2 examples).
+
+The paper demonstrates the reach of the IP model by expressing well-known
+topologies as IP graphs; this module reproduces those representations so
+the test suite can check them against the explicit constructions of
+:mod:`repro.networks.classic` (isomorphism for small sizes).
+"""
+
+from __future__ import annotations
+
+from repro.core.ipgraph import IPGraph, build_ip_graph
+from repro.core.permutation import (
+    Permutation,
+    cyclic_shift_left,
+    cyclic_shift_right,
+    transposition,
+)
+
+from .nuclei import (
+    hypercube_nucleus,
+    pancake_nucleus,
+    shuffle_exchange_nucleus,
+    star_nucleus,
+)
+
+__all__ = [
+    "hypercube_ip",
+    "star_ip",
+    "pancake_ip",
+    "shuffle_exchange_ip",
+    "debruijn_ip",
+    "paper_example_36",
+]
+
+
+def hypercube_ip(n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """``Q_n`` through the IP engine (pair-encoded bits)."""
+    return hypercube_nucleus(n).build(max_nodes=max_nodes)
+
+
+def star_ip(n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """The ``n``-star through the IP engine — the paper's 6-star example
+    generates all ``n!`` labels from the sorted seed."""
+    return star_nucleus(n).build(max_nodes=max_nodes)
+
+
+def pancake_ip(n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """The ``n``-pancake through the IP engine."""
+    return pancake_nucleus(n).build(max_nodes=max_nodes)
+
+
+def shuffle_exchange_ip(n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """The shuffle-exchange network through the IP engine."""
+    return shuffle_exchange_nucleus(n).build(max_nodes=max_nodes)
+
+
+def debruijn_ip(n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """The binary de Bruijn graph ``dB(2, n)`` as a (directed) IP graph.
+
+    Section 2: with the ``2n``-symbol pair-encoded seed, the two generators
+    shift the label left by one pair and append the removed pair either in
+    its original order (new bit = old leading bit) or swapped (new bit =
+    complement) — exactly the two de Bruijn successors of each node.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    m = 2 * n
+    shift = cyclic_shift_left(m, 2)
+    # shift, then swap the landing pair (last two positions)
+    shift_swap = shift.then(transposition(m, m - 2, m - 1))
+    return build_ip_graph(
+        (0, 1) * n,
+        [shift, shift_swap],
+        name=f"dB-IP(2,{n})",
+        max_nodes=max_nodes,
+        directed=True,
+    )
+
+
+def paper_example_36(max_nodes: int = 1000) -> IPGraph:
+    """The 36-node worked example of Section 2.
+
+    Seed ``1 2 3 1 2 3`` with generators ``(1,2)``, ``(1,3)`` (1-based
+    swaps) and the half rotation ``456123``; the paper states that repeated
+    application yields exactly 36 distinct labels.
+    """
+    from repro.core.permutation import from_cycles
+
+    seed = (1, 2, 3, 1, 2, 3)
+    gens = [
+        from_cycles(6, [(1, 2)], one_based=True),
+        from_cycles(6, [(1, 3)], one_based=True),
+        cyclic_shift_left(6, 3),
+    ]
+    return build_ip_graph(seed, gens, name="paper-example-36", max_nodes=max_nodes)

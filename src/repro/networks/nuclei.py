@@ -1,0 +1,176 @@
+"""Nucleus specifications (IP-graph representations of basic modules).
+
+A super-IP graph is specified by a nucleus and a super-generator set
+(Section 3.1).  This module provides :class:`~repro.core.superip.NucleusSpec`
+builders for the nuclei used throughout the paper:
+
+* hypercube ``Q_n`` and folded hypercube ``FQ_n`` — the paper encodes a cube
+  dimension as a *pair* of symbols whose order gives the bit value, with a
+  swap generator per pair (this is exactly the HCN seed construction of
+  Section 2);
+* generalized hypercubes (Bhuyan & Agrawal) and complete graphs — used to
+  make super-IP diameters Moore-optimal (Theorem 4.4);
+* star and pancake graphs — the classic Cayley nuclei;
+* rings;
+* shuffle-exchange — a repeated-symbol IP nucleus (no symmetric variant).
+
+All distinct-symbol nuclei support the symmetric super-IP construction of
+Section 3.5.
+"""
+
+from __future__ import annotations
+
+from repro.core.permutation import (
+    Permutation,
+    cyclic_shift_left,
+    cyclic_shift_right,
+    from_cycles,
+    prefix_reversal,
+    transposition,
+)
+from repro.core.superip import NucleusSpec
+
+__all__ = [
+    "debruijn_nucleus",
+    "hypercube_nucleus",
+    "folded_hypercube_nucleus",
+    "generalized_hypercube_nucleus",
+    "complete_nucleus",
+    "star_nucleus",
+    "pancake_nucleus",
+    "ring_nucleus",
+    "shuffle_exchange_nucleus",
+]
+
+
+def hypercube_nucleus(n: int) -> NucleusSpec:
+    """``Q_n`` as an IP/Cayley graph on ``2n`` distinct symbols.
+
+    Bit ``i`` is the order of the symbol pair at positions ``(2i, 2i+1)``;
+    generator ``i`` swaps that pair (flips the bit).  This matches the
+    paper's seed/generators for HCN(n, n).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    m = 2 * n
+    perms = tuple(transposition(m, 2 * i, 2 * i + 1) for i in range(n))
+    return NucleusSpec(name=f"Q{n}", seed=tuple(range(m)), perms=perms)
+
+
+def folded_hypercube_nucleus(n: int) -> NucleusSpec:
+    """``FQ_n``: hypercube plus the complement generator (flip all bits).
+
+    Degree ``n + 1``, diameter ``⌈n/2⌉``.
+    """
+    base = hypercube_nucleus(n)
+    m = 2 * n
+    # product of all pair swaps = complement edge
+    img = list(range(m))
+    for i in range(n):
+        img[2 * i], img[2 * i + 1] = img[2 * i + 1], img[2 * i]
+    return NucleusSpec(
+        name=f"FQ{n}", seed=base.seed, perms=base.perms + (Permutation(img),)
+    )
+
+
+def generalized_hypercube_nucleus(radices: tuple[int, ...] | list[int]) -> NucleusSpec:
+    """Generalized hypercube ``GH(r_1, ..., r_n)`` (Bhuyan & Agrawal).
+
+    Digit ``i`` (radix ``r_i``) is encoded as the rotation offset of a
+    segment of ``r_i`` distinct symbols; the generators are all nontrivial
+    rotations of each segment, connecting every pair of digit values:
+    degree ``Σ (r_i − 1)``, diameter ``n``.  With a single radix this is the
+    complete graph ``K_r``.
+    """
+    radices = tuple(int(r) for r in radices)
+    if not radices or any(r < 2 for r in radices):
+        raise ValueError("each radix must be >= 2")
+    m = sum(radices)
+    perms: list[Permutation] = []
+    offset = 0
+    for r in radices:
+        seg = list(range(offset, offset + r))
+        for s in range(1, r):
+            img = list(range(m))
+            for j in range(r):
+                img[offset + j] = seg[(j + s) % r]
+            perms.append(Permutation(img))
+        offset += r
+    name = "GH(" + ",".join(map(str, radices)) + ")"
+    return NucleusSpec(name=name, seed=tuple(range(m)), perms=tuple(perms))
+
+
+def complete_nucleus(r: int) -> NucleusSpec:
+    """Complete graph ``K_r`` (generalized hypercube with one dimension)."""
+    spec = generalized_hypercube_nucleus((r,))
+    return NucleusSpec(name=f"K{r}", seed=spec.seed, perms=spec.perms)
+
+
+def star_nucleus(n: int) -> NucleusSpec:
+    """The ``n``-star graph: generators ``(0, i)`` for ``i = 1..n−1``.
+
+    ``n!`` nodes, degree ``n − 1``, diameter ``⌊3(n−1)/2⌋`` (Akers et al.).
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    perms = tuple(transposition(n, 0, i) for i in range(1, n))
+    return NucleusSpec(name=f"S{n}", seed=tuple(range(n)), perms=perms)
+
+
+def pancake_nucleus(n: int) -> NucleusSpec:
+    """The ``n``-pancake graph: prefix reversals of length ``2..n``."""
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    perms = tuple(prefix_reversal(n, i) for i in range(2, n + 1))
+    return NucleusSpec(name=f"P{n}", seed=tuple(range(n)), perms=perms)
+
+
+def ring_nucleus(k: int) -> NucleusSpec:
+    """The ``k``-cycle as a Cayley graph of the cyclic group."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if k == 2:
+        return NucleusSpec(name="C2", seed=(0, 1), perms=(transposition(2, 0, 1),))
+    return NucleusSpec(
+        name=f"C{k}",
+        seed=tuple(range(k)),
+        perms=(cyclic_shift_left(k, 1), cyclic_shift_right(k, 1)),
+    )
+
+
+def shuffle_exchange_nucleus(n: int) -> NucleusSpec:
+    """The ``n``-dimensional shuffle-exchange network as an IP graph.
+
+    Uses the paper's pair encoding of bits (``2n`` symbols, repeated seed
+    ``01 01 ... 01``): *shuffle* rotates the pairs (rotate label left by 2),
+    *exchange* swaps the last pair (flip the last bit).  ``2^n`` nodes,
+    degree ≤ 3.  The seed has repeated symbols, so no symmetric variant
+    exists for this nucleus.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    m = 2 * n
+    shuffle = cyclic_shift_left(m, 2)
+    unshuffle = cyclic_shift_right(m, 2)
+    exchange = transposition(m, m - 2, m - 1)
+    return NucleusSpec(
+        name=f"SE{n}", seed=(0, 1) * n, perms=(shuffle, unshuffle, exchange)
+    )
+
+
+def debruijn_nucleus(n: int) -> NucleusSpec:
+    """The undirected binary de Bruijn graph ``dB(2, n)`` as an IP nucleus.
+
+    Pair-encoded bits (repeated seed ``01 01 ... 01``); generators are the
+    two de Bruijn shifts (shift left by one pair, landing pair kept or
+    swapped) and their inverses, making the generator set inverse-closed so
+    the nucleus graph is the undirected de Bruijn graph (max degree 4 — the
+    density benchmark of §5.3).  Repeated symbols: no symmetric variant.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    m = 2 * n
+    shift = cyclic_shift_left(m, 2)
+    shift_swap = shift.then(transposition(m, m - 2, m - 1))
+    perms = (shift, shift_swap, shift.inverse(), shift_swap.inverse())
+    return NucleusSpec(name=f"dB{n}", seed=(0, 1) * n, perms=perms)

@@ -1,0 +1,72 @@
+"""Quotient networks (Section 6's "quotient variant" and Figure 3's QCN).
+
+A quotient network merges groups of nodes of a base network into single
+(multi-processor) nodes, keeping one edge per connected pair of groups.
+The paper's ``QCN(l, Q_7/Q_3)`` merges each 3-subcube of the ``Q_7``
+nucleus copies of ``CN(l, Q_7)`` into one node, trading node size for
+drastically fewer off-module transmissions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.network import Network
+
+from .cyclic import ring_cn_hypercube
+
+__all__ = ["quotient_network", "qcn"]
+
+
+def quotient_network(
+    net: Network,
+    key_fn: Callable,
+    name: str | None = None,
+) -> Network:
+    """Contract all nodes sharing ``key_fn(label)`` into one node.
+
+    The quotient node's label is the shared key; its ``processors``
+    attribute (attached to the returned network as ``procs_per_node``)
+    records how many base nodes each quotient node absorbs (uniform
+    grouping is enforced).
+    """
+    groups: dict = {}
+    group_of = np.empty(net.num_nodes, dtype=np.int64)
+    for i, lab in enumerate(net.labels):
+        k = key_fn(lab)
+        group_of[i] = groups.setdefault(k, len(groups))
+    labels = [None] * len(groups)
+    for k, gid in groups.items():
+        labels[gid] = k
+    src = group_of[net.edges_src]
+    dst = group_of[net.edges_dst]
+    out = Network(labels, src, dst, name=name or f"{net.name}/quotient")
+    sizes = np.bincount(group_of, minlength=len(groups))
+    if (sizes != sizes[0]).any():
+        raise ValueError("quotient groups are not uniform in size")
+    out.procs_per_node = int(sizes[0])  # type: ignore[attr-defined]
+    return out
+
+
+def qcn(l: int, n: int, merge_bits: int, max_nodes: int = 2_000_000) -> Network:
+    """Quotient cyclic network QCN(l, Q_n/Q_merge_bits).
+
+    Builds ring-CN(l, Q_n) and merges each ``merge_bits``-subcube of the
+    *leftmost* block (the one nucleus generators act on) into a node — the
+    paper's "merging each 3-cube into a node" for ``n = 7``,
+    ``merge_bits = 3``.  Each quotient node hosts ``2^merge_bits``
+    processors.
+    """
+    if not 0 < merge_bits < n:
+        raise ValueError("need 0 < merge_bits < n")
+    base = ring_cn_hypercube(l, n, max_nodes=max_nodes)
+    m = 2 * n  # nucleus labels use the 2-symbols-per-bit encoding
+    keep = m - 2 * merge_bits  # drop the trailing merge_bits bit-pairs
+
+    def key(label):
+        blocks = [label[b * m : (b + 1) * m] for b in range(l)]
+        return (blocks[0][:keep],) + tuple(blocks[1:])
+
+    return quotient_network(base, key, name=f"QCN({l},Q{n}/Q{merge_bits})")

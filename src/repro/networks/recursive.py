@@ -1,0 +1,85 @@
+"""Recursive and multi-level hierarchical families.
+
+Corollary 4.2 covers RHSN — *recursively* hierarchical swapped networks
+(Yeh & Parhami 1996) — where the nucleus of a super-IP graph is itself a
+super-IP graph.  In the IP model this is just composition:
+:func:`compose_nucleus` turns any (nucleus, super-generator set) pair into
+a new :class:`~repro.core.superip.NucleusSpec`, so arbitrary recursion
+depth falls out of the existing machinery, with Theorems 3.2/4.1 applying
+at every level.
+
+Also provides the multi-level representatives of two related families from
+the paper's introduction:
+
+* **HSE** — hierarchical shuffle-exchange networks (Cypher & Sanz 1992):
+  cyclic-shift super-generators over a shuffle-exchange nucleus;
+* **HHN** — hierarchical hypercube networks (Yun & Park 1996): a two-level
+  network with hypercube clusters, represented by its super-IP equivalent
+  (swap super-generators over a hypercube nucleus of hypercubes).
+"""
+
+from __future__ import annotations
+
+from repro.core.ipgraph import IPGraph
+from repro.core.permutation import block_permutation, lift_to_block
+from repro.core.superip import NucleusSpec, SuperGeneratorSet, build_super_ip_graph
+
+from .nuclei import hypercube_nucleus, shuffle_exchange_nucleus
+
+__all__ = ["compose_nucleus", "rhsn", "hse", "hhn_like"]
+
+
+def compose_nucleus(nucleus: NucleusSpec, sgs: SuperGeneratorSet, name: str | None = None) -> NucleusSpec:
+    """The super-IP graph of ``(nucleus, sgs)`` as a new NucleusSpec.
+
+    The composed nucleus has seed ``S S ... S`` (``l`` copies of the inner
+    seed) and generators = inner nucleus generators lifted to block 0 plus
+    the super-generators expanded over symbols.  Feeding the result back
+    into :func:`~repro.core.superip.build_super_ip_graph` yields recursive
+    hierarchical networks (RHSN, recursive CN, ...) of any depth.
+    """
+    l, m = sgs.l, nucleus.m
+    seed = tuple(nucleus.seed) * l
+    perms = tuple(lift_to_block(p, l, m, block=0) for p in nucleus.perms) + tuple(
+        block_permutation(p.img, m) for _, p in sgs.block_perms
+    )
+    if name is None:
+        name = f"{sgs.name}(l={l},{nucleus.name})"
+    return NucleusSpec(name=name, seed=seed, perms=perms)
+
+
+def rhsn(levels: list[int], base: NucleusSpec, max_nodes: int = 2_000_000) -> IPGraph:
+    """Recursive hierarchical swapped network.
+
+    ``levels = [l1, l2, ..., lk]`` builds HSN(lk, HSN(..., HSN(l1, base)))
+    — each level uses transposition super-generators over the previous
+    level as its nucleus.
+
+    Example: ``rhsn([2, 2], hypercube_nucleus(1))`` is a 3-level network of
+    ``((2^1)^2)^2 = 16`` nodes.
+    """
+    if not levels:
+        raise ValueError("at least one level required")
+    nucleus = base
+    for l in levels[:-1]:
+        nucleus = compose_nucleus(nucleus, SuperGeneratorSet.transpositions(l))
+    sgs = SuperGeneratorSet.transpositions(levels[-1])
+    name = "RHSN(" + ",".join(map(str, levels)) + f";{base.name})"
+    return build_super_ip_graph(nucleus, sgs, name=name, max_nodes=max_nodes)
+
+
+def hse(l: int, n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """Hierarchical shuffle-exchange representative: ring-CN over an
+    ``SE_n`` nucleus (the paper groups HSE with the super-IP families)."""
+    sgs = SuperGeneratorSet.ring(l)
+    return build_super_ip_graph(
+        shuffle_exchange_nucleus(n), sgs, name=f"HSE({l},SE{n})", max_nodes=max_nodes
+    )
+
+
+def hhn_like(l: int, n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """Two-level hierarchical hypercube representative: HSN over a
+    hypercube-of-hypercubes nucleus (HSN(l, HSN(2, Q_n)))."""
+    inner = compose_nucleus(hypercube_nucleus(n), SuperGeneratorSet.transpositions(2))
+    sgs = SuperGeneratorSet.transpositions(l)
+    return build_super_ip_graph(inner, sgs, name=f"HHN({l},Q{n})", max_nodes=max_nodes)

@@ -1,0 +1,134 @@
+"""Name-based registry of every network family in the library.
+
+Lets benchmarks, examples and downstream users build any topology from a
+string spec, e.g. ``build("hsn", l=2, n=3)`` or ``build("hypercube", n=6)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.network import Network
+
+from .cited import macro_star, rotator_graph, star_connected_cycles
+from .classic import (
+    bubble_sort_graph,
+    complete_graph,
+    cube_connected_cycles,
+    debruijn,
+    folded_hypercube,
+    generalized_hypercube,
+    hypercube,
+    kary_ncube,
+    kautz,
+    mesh,
+    pancake_graph,
+    path,
+    petersen,
+    ring,
+    shuffle_exchange,
+    star_graph,
+    torus,
+    wrapped_butterfly,
+)
+from .cyclic import complete_cn, cyclic_petersen_network, ring_cn
+from .hcn import hcn, hfn
+from .hsn import hsn, macro_star_like, rcc
+from .ip_variants import (
+    debruijn_ip,
+    hypercube_ip,
+    pancake_ip,
+    shuffle_exchange_ip,
+    star_ip,
+)
+from .nuclei import hypercube_nucleus
+from .quotient import qcn
+from .recursive import hhn_like, hse, rhsn
+from .superflip import super_flip
+
+__all__ = ["REGISTRY", "build", "available"]
+
+
+def _hsn(l: int, n: int, symmetric: bool = False, **kw) -> Network:
+    return hsn(l, hypercube_nucleus(n), symmetric=symmetric, **kw)
+
+
+def _ring_cn(l: int, n: int, symmetric: bool = False, **kw) -> Network:
+    return ring_cn(l, hypercube_nucleus(n), symmetric=symmetric, **kw)
+
+
+def _complete_cn(l: int, n: int, symmetric: bool = False, **kw) -> Network:
+    return complete_cn(l, hypercube_nucleus(n), symmetric=symmetric, **kw)
+
+
+def _super_flip(l: int, n: int, symmetric: bool = False, **kw) -> Network:
+    return super_flip(l, hypercube_nucleus(n), symmetric=symmetric, **kw)
+
+
+def _rhsn(levels, n: int = 1, **kw) -> Network:
+    if isinstance(levels, int):
+        levels = [levels]
+    return rhsn(list(levels), hypercube_nucleus(n), **kw)
+
+
+REGISTRY: dict[str, Callable[..., Network]] = {
+    # baselines
+    "ring": ring,
+    "path": path,
+    "mesh": mesh,
+    "torus": torus,
+    "kary_ncube": kary_ncube,
+    "hypercube": hypercube,
+    "folded_hypercube": folded_hypercube,
+    "generalized_hypercube": generalized_hypercube,
+    "complete": complete_graph,
+    "petersen": petersen,
+    "star": star_graph,
+    "pancake": pancake_graph,
+    "bubble_sort": bubble_sort_graph,
+    "debruijn": debruijn,
+    "kautz": kautz,
+    "shuffle_exchange": shuffle_exchange,
+    "ccc": cube_connected_cycles,
+    "butterfly": wrapped_butterfly,
+    # two-level explicit
+    "hcn": hcn,
+    "hfn": hfn,
+    # super-IP families over Q_n nuclei
+    "hsn": _hsn,
+    "ring_cn": _ring_cn,
+    "complete_cn": _complete_cn,
+    "super_flip": _super_flip,
+    "rcc": rcc,
+    "macro_star": macro_star,
+    "macro_star_like": macro_star_like,
+    "rotator": rotator_graph,
+    "scc": star_connected_cycles,
+    "cyclic_petersen": cyclic_petersen_network,
+    "qcn": qcn,
+    "hse": hse,
+    "hhn": hhn_like,
+    "rhsn": _rhsn,
+    # IP-engine representations of classics
+    "hypercube_ip": hypercube_ip,
+    "star_ip": star_ip,
+    "pancake_ip": pancake_ip,
+    "shuffle_exchange_ip": shuffle_exchange_ip,
+    "debruijn_ip": debruijn_ip,
+}
+
+
+def build(name: str, **params) -> Network:
+    """Build a registered network family by name."""
+    try:
+        factory = REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; available: {', '.join(sorted(REGISTRY))}"
+        ) from None
+    return factory(**params)
+
+
+def available() -> list[str]:
+    """Sorted registered family names."""
+    return sorted(REGISTRY)

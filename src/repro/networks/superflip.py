@@ -1,0 +1,42 @@
+"""Super-flip networks (Section 3.4).
+
+A super-flip network uses the flip super-generators ``F_2 .. F_l``, each of
+which reverses the order of the first ``i`` blocks (a pancake flip at the
+block level).  Flip super-generators can emulate both transposition and
+cyclic-shift super-generators efficiently, making super-flip networks the
+most flexible of the paper's three families.
+"""
+
+from __future__ import annotations
+
+from repro.core.ipgraph import IPGraph
+from repro.core.network import Network
+from repro.core.superip import NucleusSpec, SuperGeneratorSet, build_super_ip_graph
+
+from .hier import explicit_super_graph
+from .nuclei import hypercube_nucleus
+
+__all__ = ["super_flip", "super_flip_hypercube"]
+
+
+def super_flip(
+    l: int,
+    nucleus: NucleusSpec | Network,
+    symmetric: bool = False,
+    max_nodes: int = 2_000_000,
+) -> IPGraph:
+    """Build the super-flip network over ``nucleus`` with ``l`` blocks."""
+    sgs = SuperGeneratorSet.flips(l)
+    name = f"{'sym-' if symmetric else ''}super-flip({l},{nucleus.name})"
+    if isinstance(nucleus, NucleusSpec):
+        return build_super_ip_graph(
+            nucleus, sgs, symmetric=symmetric, max_nodes=max_nodes, name=name
+        )
+    return explicit_super_graph(
+        nucleus, sgs, symmetric=symmetric, max_nodes=max_nodes, name=name
+    )
+
+
+def super_flip_hypercube(l: int, n: int, max_nodes: int = 2_000_000) -> IPGraph:
+    """Super-flip network with a ``Q_n`` nucleus."""
+    return super_flip(l, hypercube_nucleus(n), max_nodes=max_nodes)

@@ -1,0 +1,100 @@
+"""Family-specific routers for the baseline networks.
+
+Each router works on *labels* (no graph search) and is validated against
+BFS shortest paths in the test suite:
+
+* e-cube (dimension-order) routing on hypercubes — optimal;
+* greedy cycle routing on the star graph — within ``⌊3(n−1)/2⌋`` steps
+  (Akers, Harel & Krishnamurthy);
+* shift-register routing on de Bruijn graphs — within ``n`` hops.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ecube_route", "star_route", "debruijn_route", "star_route_length_bound"]
+
+Bits = tuple[int, ...]
+
+
+def ecube_route(src: Sequence[int], dst: Sequence[int]) -> list[Bits]:
+    """Dimension-order (e-cube) hypercube route; optimal length = Hamming
+    distance.  Labels are bit tuples."""
+    src_t, dst_t = tuple(src), tuple(dst)
+    if len(src_t) != len(dst_t):
+        raise ValueError("label length mismatch")
+    path = [src_t]
+    cur = list(src_t)
+    for b, (x, y) in enumerate(zip(src_t, dst_t)):
+        if x != y:
+            cur[b] = y
+            path.append(tuple(cur))
+    return path
+
+
+def star_route(src: Sequence, dst: Sequence) -> list[tuple]:
+    """Greedy cycle routing on the star graph.
+
+    Relabels so the destination is the identity, then repeatedly:
+
+    * if the front symbol is not home, swap it to its home position;
+    * otherwise swap the front with any out-of-place position.
+
+    The classic argument gives length ``≤ ⌊3(n−1)/2⌋``.
+    """
+    src_t, dst_t = tuple(src), tuple(dst)
+    n = len(src_t)
+    if sorted(src_t) != sorted(dst_t):
+        raise ValueError("labels are not permutations of each other")
+    # express src relative to dst: home of symbol dst[i] is position i
+    home = {sym: i for i, sym in enumerate(dst_t)}
+    cur = [home[s] for s in src_t]  # cur[i] = target position of symbol at i
+    path = [src_t]
+    inv_home = {i: sym for sym, i in home.items()}
+
+    def emit():
+        path.append(tuple(inv_home[v] for v in cur))
+
+    while True:
+        front = cur[0]
+        if front != 0:
+            # send the front symbol home
+            cur[0], cur[front] = cur[front], cur[0]
+            emit()
+        else:
+            # front is home; find any out-of-place position
+            wrong = next((i for i in range(1, n) if cur[i] != i), None)
+            if wrong is None:
+                break
+            cur[0], cur[wrong] = cur[wrong], cur[0]
+            emit()
+    return path
+
+
+def star_route_length_bound(n: int) -> int:
+    """The star-graph diameter ``⌊3(n−1)/2⌋``."""
+    return (3 * (n - 1)) // 2
+
+
+def debruijn_route(src: Sequence[int], dst: Sequence[int]) -> list[tuple]:
+    """Shift-register routing on the (directed) de Bruijn graph.
+
+    Finds the longest suffix of ``src`` equal to a prefix of ``dst`` and
+    shifts in the remaining destination symbols: at most ``n`` hops.
+    """
+    src_t, dst_t = tuple(src), tuple(dst)
+    n = len(src_t)
+    if len(dst_t) != n:
+        raise ValueError("label length mismatch")
+    overlap = 0
+    for k in range(n, 0, -1):
+        if src_t[n - k :] == dst_t[:k]:
+            overlap = k
+            break
+    path = [src_t]
+    cur = src_t
+    for sym in dst_t[overlap:]:
+        cur = cur[1:] + (sym,)
+        path.append(cur)
+    return path

@@ -1,0 +1,90 @@
+"""Generic shortest-path routing support (BFS tables).
+
+Used as the routing oracle for the packet simulator and as the baseline the
+family-specific routers (Theorem 4.1 sorting router, e-cube, ...) are tested
+against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.metrics.distances import bfs_distances
+
+__all__ = ["shortest_path", "NextHopTable"]
+
+
+def shortest_path(net: Network, src: int, dst: int) -> list[int]:
+    """One shortest path (node ids, inclusive of endpoints) via BFS."""
+    if src == dst:
+        return [src]
+    csr = net.adjacency_csr()
+    indptr, indices = csr.indptr, csr.indices
+    parent = {src: -1}
+    q: deque[int] = deque([src])
+    while q:
+        u = q.popleft()
+        for v in indices[indptr[u] : indptr[u + 1]]:
+            v = int(v)
+            if v in parent:
+                continue
+            parent[v] = u
+            if v == dst:
+                out = [dst]
+                while out[-1] != src:
+                    out.append(parent[out[-1]])
+                out.reverse()
+                return out
+            q.append(v)
+    raise ValueError(f"no path from {src} to {dst}")
+
+
+class NextHopTable:
+    """All-pairs next-hop table for shortest-path routing.
+
+    ``next_hop[dst, u]`` is the neighbor of ``u`` on a shortest path to
+    ``dst`` (or ``u`` itself when ``u == dst``).  Memory is ``O(N^2)``;
+    construction is chunked BFS.  This is what the packet simulator uses to
+    route — deterministic, minimal, and family-agnostic.
+    """
+
+    def __init__(self, net: Network, chunk: int = 64):
+        n = net.num_nodes
+        csr = net.adjacency_csr()
+        indptr, indices = csr.indptr, csr.indices
+        self.net = net
+        self.table = np.empty((n, n), dtype=np.int32)
+        arc_counts = np.diff(indptr)
+        if n > 1 and (arc_counts == 0).any():
+            raise ValueError("network has isolated nodes")
+        for start in range(0, n, chunk):
+            dsts = np.arange(start, min(start + chunk, n))
+            dist = bfs_distances(csr, dsts)  # distances FROM dst (undirected)
+            if (dist < 0).any():
+                raise ValueError("network is disconnected")
+            for row, dst in enumerate(dsts):
+                d = dist[row]
+                # per-arc test: does this neighbor sit one step closer to dst?
+                closer = d[indices] == np.repeat(d, arc_counts) - 1
+                # smallest eligible neighbor id per node (n = sentinel)
+                candidates = np.where(closer, indices, n)
+                nh = np.minimum.reduceat(candidates, indptr[:-1]).astype(np.int32)
+                nh[dst] = dst
+                self.table[dst] = nh
+
+    def next_hop(self, u: int, dst: int) -> int:
+        """Neighbor of ``u`` on a shortest path to ``dst``."""
+        return int(self.table[dst, u])
+
+    def path(self, src: int, dst: int) -> list[int]:
+        """Full shortest path from ``src`` to ``dst``."""
+        out = [src]
+        guard = self.net.num_nodes + 1
+        while out[-1] != dst:
+            out.append(self.next_hop(out[-1], dst))
+            if len(out) > guard:  # pragma: no cover — corrupt table
+                raise RuntimeError("routing loop detected")
+        return out

@@ -1,0 +1,44 @@
+"""Packet-level simulation substrate for the Section-5 latency claims."""
+
+from .policies import (
+    arc_endpoints,
+    on_off_module_delay,
+    uniform_delay,
+    unit_node_capacity,
+    unit_offmodule_capacity,
+)
+from .simulator import Packet, PacketSimulator
+from .wormhole import Message, WormholeSimulator
+from .stats import SimStats
+from .sweeps import offered_load_sweep, saturation_rate
+from .workloads import (
+    bit_reversal_pairs,
+    complement_pairs,
+    hotspot,
+    permutation_traffic,
+    random_permutation_traffic,
+    transpose_pairs,
+    uniform_random,
+)
+
+__all__ = [
+    "arc_endpoints",
+    "bit_reversal_pairs",
+    "complement_pairs",
+    "hotspot",
+    "Message",
+    "offered_load_sweep",
+    "on_off_module_delay",
+    "Packet",
+    "PacketSimulator",
+    "permutation_traffic",
+    "random_permutation_traffic",
+    "saturation_rate",
+    "SimStats",
+    "transpose_pairs",
+    "uniform_delay",
+    "uniform_random",
+    "WormholeSimulator",
+    "unit_node_capacity",
+    "unit_offmodule_capacity",
+]

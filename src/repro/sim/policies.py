@@ -1,0 +1,86 @@
+"""Per-channel delay policies modeling the paper's capacity assumptions.
+
+Each policy returns a delay array aligned with the CSR arc order of
+``net.adjacency_csr()``, suitable for
+:class:`repro.sim.simulator.PacketSimulator`.
+
+* :func:`uniform_delay` — every link identical (baseline);
+* :func:`unit_node_capacity` — the sum of a node's outgoing link
+  capacities is fixed, so each channel's service time equals the source
+  node's degree.  Light-load latency then tracks **DD-cost** (Fig. 2);
+* :func:`on_off_module_delay` — off-module channels are ``off_factor``
+  slower than on-module ones (off-chip pins vs on-chip wires, §5.4).
+  Light-load latency then tracks **II-cost** (Fig. 5);
+* :func:`unit_offmodule_capacity` — a node's *off-module* capacity is
+  fixed, so each off-module channel's service time equals the source
+  node's off-module link count; on-module links stay fast.  Light-load
+  latency then tracks I-degree × I-distance (the ID/II regime of Fig. 4/5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.network import Network
+from repro.metrics.clustering import ModuleAssignment, offmodule_links_per_node
+
+__all__ = [
+    "uniform_delay",
+    "unit_node_capacity",
+    "on_off_module_delay",
+    "unit_offmodule_capacity",
+    "arc_endpoints",
+]
+
+
+def arc_endpoints(net: Network) -> tuple[np.ndarray, np.ndarray]:
+    """(source, target) node id per directed arc in CSR order."""
+    csr = net.adjacency_csr()
+    src = np.repeat(np.arange(net.num_nodes), np.diff(csr.indptr))
+    return src, csr.indices.copy()
+
+
+def uniform_delay(net: Network, delay: int = 1) -> np.ndarray:
+    """Every channel takes ``delay`` cycles."""
+    csr = net.adjacency_csr()
+    return np.full(len(csr.indices), int(delay), dtype=np.int64)
+
+
+def unit_node_capacity(net: Network) -> np.ndarray:
+    """Service time of a channel = degree of its source node."""
+    src, _ = arc_endpoints(net)
+    return net.degrees()[src].astype(np.int64)
+
+
+def on_off_module_delay(
+    net: Network,
+    assignment: ModuleAssignment,
+    on_delay: int = 1,
+    off_factor: int = 10,
+) -> np.ndarray:
+    """On-module channels take ``on_delay``; off-module ones
+    ``on_delay * off_factor``."""
+    src, dst = arc_endpoints(net)
+    mod = assignment.module_of
+    off = mod[src] != mod[dst]
+    out = np.full(len(src), int(on_delay), dtype=np.int64)
+    out[off] = int(on_delay) * int(off_factor)
+    return out
+
+
+def unit_offmodule_capacity(
+    net: Network,
+    assignment: ModuleAssignment,
+    on_delay: int = 1,
+    off_scale: int = 1,
+) -> np.ndarray:
+    """Off-module channel service time = source node's off-module link
+    count × ``off_scale`` (fixed per-node off-module capacity); on-module
+    channels take ``on_delay``."""
+    src, dst = arc_endpoints(net)
+    mod = assignment.module_of
+    off = mod[src] != mod[dst]
+    off_links = offmodule_links_per_node(assignment)
+    out = np.full(len(src), int(on_delay), dtype=np.int64)
+    out[off] = np.maximum(1, off_links[src[off]] * int(off_scale))
+    return out

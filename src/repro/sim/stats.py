@@ -1,0 +1,77 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SimStats"]
+
+
+class SimStats:
+    """Aggregated results of one simulator run.
+
+    Attributes
+    ----------
+    delivered, undelivered:
+        Packet counts.
+    mean_latency, p99_latency, max_latency:
+        Injection-to-delivery cycle counts over delivered packets.
+    mean_hops, mean_off_hops:
+        Average path length and off-module hop count per delivered packet.
+    throughput:
+        Delivered packets per cycle per node.
+    mean_utilization, mean_off_utilization, mean_on_utilization:
+        Channel busy-time fractions (overall / off-module / on-module).
+    horizon:
+        Last event time.
+    """
+
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+    @classmethod
+    def from_run(
+        cls,
+        packets,
+        horizon,
+        busy_time,
+        arc_sources,
+        arc_targets,
+        module_of,
+        num_nodes,
+    ) -> "SimStats":
+        lat = np.array([p.latency for p in packets if p.t_deliver >= 0], dtype=np.int64)
+        hops = np.array([p.hops for p in packets if p.t_deliver >= 0], dtype=np.int64)
+        offh = np.array(
+            [p.off_hops for p in packets if p.t_deliver >= 0], dtype=np.int64
+        )
+        delivered = len(lat)
+        horizon = max(int(horizon), 1)
+        util = busy_time / horizon
+        if module_of is not None and len(arc_sources):
+            off_mask = module_of[arc_sources] != module_of[arc_targets]
+            off_util = float(util[off_mask].mean()) if off_mask.any() else 0.0
+            on_util = float(util[~off_mask].mean()) if (~off_mask).any() else 0.0
+        else:
+            off_util = on_util = float("nan")
+        return cls(
+            delivered=delivered,
+            undelivered=len(packets) - delivered,
+            mean_latency=float(lat.mean()) if delivered else float("nan"),
+            p99_latency=float(np.percentile(lat, 99)) if delivered else float("nan"),
+            max_latency=int(lat.max()) if delivered else -1,
+            mean_hops=float(hops.mean()) if delivered else float("nan"),
+            mean_off_hops=float(offh.mean()) if delivered else float("nan"),
+            throughput=delivered / horizon / max(num_nodes, 1),
+            mean_utilization=float(util.mean()) if len(util) else 0.0,
+            mean_off_utilization=off_util,
+            mean_on_utilization=on_util,
+            horizon=horizon,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimStats(delivered={self.delivered}, undelivered={self.undelivered}, "
+            f"mean_latency={self.mean_latency:.2f}, mean_hops={self.mean_hops:.2f}, "
+            f"throughput={self.throughput:.4f})"
+        )

@@ -1,0 +1,77 @@
+"""Offered-load sweeps and saturation analysis.
+
+"The maximum possible throughput of a network is inversely proportional to
+these parameters for any switching technique" (§5.1) — to see that, one
+sweeps the injection rate and finds where latency blows up.  These helpers
+run that experiment reproducibly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.network import Network
+
+from .simulator import PacketSimulator
+from .workloads import uniform_random
+
+__all__ = ["offered_load_sweep", "saturation_rate"]
+
+
+def offered_load_sweep(
+    net: Network,
+    delays,
+    rates: list[float],
+    cycles: int = 200,
+    seed: int = 0,
+    module_of=None,
+    max_cycles_factor: int = 50,
+) -> list[dict]:
+    """Mean latency and delivered throughput at each injection rate.
+
+    Each run injects for ``cycles`` cycles and then drains (up to
+    ``max_cycles_factor × cycles``); undelivered packets at the cutoff are
+    counted so saturation shows both as latency growth and as loss.
+    """
+    rows = []
+    for rate in rates:
+        rng = np.random.default_rng(seed)
+        sim = PacketSimulator(net, delays=delays, module_of=module_of)
+        stats = sim.run(
+            uniform_random(net, rate, cycles, rng),
+            max_cycles=cycles * max_cycles_factor,
+        )
+        rows.append(
+            {
+                "rate": rate,
+                "mean_latency": stats.mean_latency,
+                "p99_latency": stats.p99_latency,
+                "throughput": stats.throughput,
+                "delivered": stats.delivered,
+                "undelivered": stats.undelivered,
+            }
+        )
+    return rows
+
+
+def saturation_rate(
+    net: Network,
+    delays,
+    rates: list[float],
+    latency_blowup: float = 4.0,
+    **kw,
+) -> float:
+    """First injection rate whose mean latency exceeds ``latency_blowup``
+    times the lowest-rate latency (∞ if none does).
+
+    A simple, deterministic stand-in for the saturation point; relative
+    comparisons between networks are what the paper's claims need.
+    """
+    rows = offered_load_sweep(net, delays, rates, **kw)
+    base = rows[0]["mean_latency"]
+    for r in rows:
+        if r["mean_latency"] > latency_blowup * base or r["undelivered"] > 0:
+            return r["rate"]
+    return float("inf")

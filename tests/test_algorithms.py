@@ -1,0 +1,156 @@
+"""Tests for collective schedules and hypercube emulation on HSNs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.algorithms import (
+    HypercubeEmulator,
+    Schedule,
+    all_to_all_personalized_lower_bound,
+    ascend_sum,
+    broadcast_schedule,
+    reduce_schedule,
+    schedule_traffic_split,
+)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("builder,args", [
+        (nw.hypercube, (4,)),
+        (nw.ring, (9,)),
+        (nw.star_graph, (4,)),
+        (nw.hsn_hypercube, (2, 2)),
+        (nw.cube_connected_cycles, (3,)),
+    ])
+    def test_valid_and_complete(self, builder, args):
+        g = builder(*args)
+        sched = broadcast_schedule(g, root=0)
+        sched.validate(g)
+        # everyone informed exactly once: N-1 messages total
+        assert sched.total_messages() == g.num_nodes - 1
+
+    def test_hypercube_broadcast_is_log_steps(self):
+        q = nw.hypercube(4)
+        sched = broadcast_schedule(q)
+        assert sched.num_steps == 4  # binomial-tree optimal
+
+    def test_steps_lower_bounded_by_log(self):
+        for g in (nw.ring(16), nw.hsn_hypercube(2, 2), nw.star_graph(4)):
+            sched = broadcast_schedule(g)
+            assert sched.num_steps >= math.ceil(math.log2(g.num_nodes))
+
+    def test_steps_upper_bound(self):
+        """Single-port BFS-tree broadcast ≤ diameter + log2 N rounds."""
+        for g in (nw.hypercube(4), nw.hsn_hypercube(2, 2), nw.ring(12)):
+            sched = broadcast_schedule(g)
+            bound = mt.diameter(g) + math.ceil(math.log2(g.num_nodes))
+            assert sched.num_steps <= bound
+
+    def test_disconnected_raises(self):
+        from repro.core.network import Network
+
+        net = Network.from_edge_list([(i,) for i in range(4)], [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            broadcast_schedule(net)
+
+    def test_validate_catches_non_edges(self):
+        g = nw.ring(5)
+        bad = Schedule([[(0, 2)]])
+        with pytest.raises(ValueError, match="not an edge"):
+            bad.validate(g)
+
+    def test_validate_catches_port_conflicts(self):
+        g = nw.ring(5)
+        bad = Schedule([[(0, 1), (0, 4)]])
+        with pytest.raises(ValueError, match="port"):
+            bad.validate(g)
+
+    def test_reduce_is_reversed_broadcast(self):
+        g = nw.hypercube(3)
+        b = broadcast_schedule(g)
+        r = reduce_schedule(g)
+        assert r.num_steps == b.num_steps
+        assert r.total_messages() == b.total_messages()
+        r.validate(g)
+
+
+class TestTrafficSplit:
+    def test_hsn_broadcast_mostly_on_module(self):
+        """'data movements ... largely confined within basic modules': the
+        HSN broadcast crosses modules at most (#modules - 1) times."""
+        g = nw.hsn_hypercube(2, 3)
+        ma = mt.nucleus_modules(g)
+        sched = broadcast_schedule(g)
+        on, off = schedule_traffic_split(sched, ma)
+        assert on + off == g.num_nodes - 1
+        assert off <= ma.num_modules - 1 + 2  # tree crosses each module ~once
+        assert on > off
+
+    def test_hypercube_broadcast_crosses_more(self):
+        q = nw.hypercube(6)
+        ma = mt.subcube_modules(q, 3)
+        _, off_q = schedule_traffic_split(broadcast_schedule(q), ma)
+        h = nw.hsn_hypercube(2, 3)
+        _, off_h = schedule_traffic_split(
+            broadcast_schedule(h), mt.nucleus_modules(h)
+        )
+        assert off_h <= off_q
+
+
+class TestAllToAllBound:
+    def test_hypercube_bound(self):
+        q = nw.hypercube(4)
+        lb = all_to_all_personalized_lower_bound(q)
+        # sum of distances = N * (n/2 * N/(N-1) * (N-1)) = N * n/2 * ... ;
+        # exact: sum over pairs of hamming = N^2 * n / 2
+        expected = (16 * 16 * 4 / 2) / q.adjacency_csr().nnz
+        assert lb == pytest.approx(expected)
+
+    def test_denser_network_lower_bound_smaller(self):
+        a = all_to_all_personalized_lower_bound(nw.hypercube(4))
+        b = all_to_all_personalized_lower_bound(nw.ring(16))
+        assert a < b
+
+
+class TestEmulation:
+    @pytest.fixture(scope="class")
+    def emu(self):
+        return HypercubeEmulator(2, 2)
+
+    def test_slowdown_profile(self, emu):
+        prof = emu.slowdown_per_dimension
+        assert len(prof) == 4
+        assert prof[:2] == [1, 1]  # block-0 dimensions: native nucleus edges
+        assert all(c <= 3 for c in prof)
+        assert emu.max_slowdown == 3
+
+    def test_ascend_sum(self, emu):
+        rng = np.random.default_rng(0)
+        vals = rng.random(emu.guest.num_nodes)
+        total, steps = ascend_sum(emu, vals)
+        assert total == pytest.approx(vals.sum())
+        # constant-slowdown emulation: <= 3 * log2 N steps
+        assert steps <= 3 * emu.dims
+        assert steps >= emu.dims
+
+    def test_exchange_shape_check(self, emu):
+        with pytest.raises(ValueError):
+            emu.exchange(np.zeros(3), 0)
+
+    def test_exchange_is_involution(self, emu):
+        rng = np.random.default_rng(1)
+        vals = rng.random(emu.guest.num_nodes)
+        other, _ = emu.exchange(vals, 2)
+        back, _ = emu.exchange(other, 2)
+        assert np.allclose(back, vals)
+
+    def test_bigger_instance(self):
+        emu = HypercubeEmulator(3, 1)
+        vals = np.arange(emu.guest.num_nodes, dtype=float)
+        total, steps = ascend_sum(emu, vals)
+        assert total == vals.sum()
+        assert steps <= 3 * emu.dims

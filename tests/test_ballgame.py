@@ -1,0 +1,136 @@
+"""Tests for the ball-arrangement game (Section 2's intuition layer)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ballgame import BallArrangementGame, solve_bfs, solve_bidirectional
+from repro.core.permutation import (
+    cyclic_shift_left,
+    from_cycles,
+    transposition,
+)
+from repro.metrics.distances import single_source_distances
+
+
+def star_game(n):
+    return BallArrangementGame(
+        tuple(range(n)), [transposition(n, 0, i) for i in range(1, n)]
+    )
+
+
+class TestGameBasics:
+    def test_num_balls_moves(self):
+        g = star_game(4)
+        assert g.num_balls == 4
+        assert g.num_moves == 3
+
+    def test_play(self):
+        g = star_game(3)
+        assert g.play((0, 1, 2), 0) == (1, 0, 2)
+        assert g.play((0, 1, 2), 1) == (2, 1, 0)
+
+    def test_play_sequence(self):
+        g = star_game(3)
+        out = g.play_sequence((0, 1, 2), [0, 1, 0])
+        expected = (0, 1, 2)
+        for m in [0, 1, 0]:
+            expected = g.play(expected, m)
+        assert out == expected
+
+    def test_requires_moves(self):
+        with pytest.raises(ValueError):
+            BallArrangementGame((0, 1), [])
+
+    def test_move_size_mismatch(self):
+        with pytest.raises(ValueError):
+            BallArrangementGame((0, 1, 2), [transposition(2, 0, 1)])
+
+    def test_reachable_equals_state_graph(self):
+        g = star_game(4)
+        assert g.reachable() == set(g.state_graph().labels)
+        assert len(g.reachable()) == 24
+
+    def test_repeated_numbers_shrink_state_space(self):
+        # two identical balls halve the space
+        g = BallArrangementGame((0, 0, 1), [transposition(3, 0, 1), transposition(3, 0, 2)])
+        assert len(g.reachable()) == 3
+
+
+class TestSolvers:
+    def test_trivial(self):
+        g = star_game(3)
+        assert g.solve((0, 1, 2)) == []
+
+    def test_one_move(self):
+        g = star_game(3)
+        sol = g.solve((1, 0, 2))
+        assert sol == [0]
+
+    def test_unreachable_returns_none(self):
+        # only a 3-rotation: odd permutations unreachable
+        g = BallArrangementGame((0, 1, 2), [from_cycles(3, [(0, 1, 2)])])
+        assert g.solve((1, 0, 2)) is None
+        assert not g.is_solvable((1, 0, 2))
+
+    def test_rotation_reachable(self):
+        g = BallArrangementGame((0, 1, 2), [from_cycles(3, [(0, 1, 2)])])
+        sol = g.solve((2, 0, 1))
+        assert sol is not None
+        assert g.play_sequence(g.start, sol) == (2, 0, 1)
+
+    def test_solution_reaches_goal(self):
+        g = star_game(5)
+        goal = (4, 3, 2, 1, 0)
+        sol = g.solve(goal)
+        assert g.play_sequence(g.start, sol) == goal
+
+    def test_bfs_and_bidirectional_agree_on_length(self):
+        g = star_game(4)
+        for goal in g.reachable():
+            a = solve_bfs(g, g.start, goal)
+            b = solve_bidirectional(g, g.start, goal)
+            assert len(a) == len(b)
+            assert g.play_sequence(g.start, a) == goal
+            assert g.play_sequence(g.start, b) == goal
+
+    def test_solution_length_is_graph_distance(self):
+        """Playing the game optimally = shortest-path routing (Section 2)."""
+        g = star_game(4)
+        graph = g.state_graph()
+        dist = single_source_distances(graph, 0)
+        for node, lab in enumerate(graph.labels):
+            sol = solve_bidirectional(g, g.start, lab)
+            assert len(sol) == dist[node]
+
+    def test_solve_with_custom_start(self):
+        g = star_game(4)
+        start = (3, 2, 1, 0)
+        goal = (0, 1, 2, 3)
+        sol = g.solve(goal, start=start)
+        assert g.play_sequence(start, sol) == goal
+
+    def test_max_states_guard(self):
+        g = star_game(8)
+        with pytest.raises(ValueError):
+            solve_bfs(g, g.start, tuple(reversed(range(8))), max_states=10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.permutations(list(range(5))))
+    def test_random_goals_solved_optimally(self, goal):
+        g = star_game(5)
+        goal = tuple(goal)
+        sol = solve_bidirectional(g, g.start, goal)
+        assert g.play_sequence(g.start, sol) == goal
+        # star graph diameter bound: floor(3(n-1)/2) = 6
+        assert len(sol) <= 6
+
+    def test_hcn_game(self):
+        """The HCN ball game: two boxes of pair-encoded bits."""
+        moves = [
+            from_cycles(8, [(0, 1)]),
+            from_cycles(8, [(2, 3)]),
+            cyclic_shift_left(8, 4),
+        ]
+        g = BallArrangementGame((0, 1, 2, 3, 0, 1, 2, 3), moves)
+        assert len(g.reachable()) == 16

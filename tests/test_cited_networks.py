@@ -1,0 +1,102 @@
+"""Tests for the cited-reference families: rotator, SCC, macro-star."""
+
+import math
+
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.metrics.distances import eccentricities
+from repro.networks.cited import macro_star, rotator_graph, star_connected_cycles
+
+
+class TestRotatorGraph:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_size_and_outdegree(self, n):
+        g = rotator_graph(n)
+        assert g.num_nodes == math.factorial(n)
+        assert g.directed
+        assert g.max_degree == n - 1  # out-degree in the directed view
+
+    @pytest.mark.parametrize("n,diam", [(3, 2), (4, 3), (5, 4)])
+    def test_diameter_n_minus_1(self, n, diam):
+        """Corbett: the rotator graph has diameter n − 1 — strictly below
+        the star graph's ⌊3(n−1)/2⌋."""
+        g = rotator_graph(n)
+        assert int(eccentricities(g).max()) == diam
+
+    def test_strongly_connected(self):
+        g = rotator_graph(4)
+        assert (eccentricities(g) >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rotator_graph(1)
+
+
+class TestStarConnectedCycles:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_size(self, n):
+        g = star_connected_cycles(n)
+        assert g.num_nodes == math.factorial(n) * (n - 1)
+
+    def test_fixed_degree_three(self):
+        g = star_connected_cycles(4)
+        assert g.is_regular()
+        assert g.max_degree == 3
+
+    def test_scc3_degenerate_cycles(self):
+        # n = 3: cycles of length 2 collapse to single edges -> degree 2
+        g = star_connected_cycles(3)
+        assert g.max_degree == 2
+        assert mt.is_connected(g)
+
+    def test_connected_and_vertex_count_like_ccc_analog(self):
+        g = star_connected_cycles(4)
+        assert mt.is_connected(g)
+        # fixed-degree price: diameter grows vs the star graph
+        assert mt.diameter(g) > mt.diameter(nw.star_graph(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            star_connected_cycles(2)
+
+
+class TestMacroStar:
+    def test_size_and_degree(self):
+        g = macro_star(2, 2)  # (2*2+1)! = 120 nodes
+        assert g.num_nodes == 120
+        assert g.is_regular()
+        assert g.max_degree == 2 + 2 - 1  # n + l - 1
+
+    def test_ms_1_n_is_star(self):
+        import networkx as nx
+
+        a = macro_star(1, 3)  # no swaps: just the 4-star
+        b = nw.star_graph(4)
+        assert nx.is_isomorphic(a.to_networkx(), b.to_networkx())
+
+    def test_degree_below_same_size_star(self):
+        """The macro-star selling point: same node count as S_{ln+1} with
+        degree n + l − 1 < ln."""
+        g = macro_star(2, 2)
+        s = nw.star_graph(5)
+        assert g.num_nodes == s.num_nodes
+        assert g.max_degree < s.max_degree
+
+    def test_diameter_within_3x_star(self):
+        g = macro_star(2, 2)
+        s = nw.star_graph(5)
+        assert mt.diameter(g) <= 3 * mt.diameter(s)
+
+    def test_nucleus_modules_from_kinds(self):
+        """Macro-star's star generators carry NUCLEUS kind, swaps SUPER —
+        so the §5 clustering machinery applies directly."""
+        g = macro_star(2, 2)
+        ma = mt.nucleus_modules(g)
+        assert ma.max_module_size == 6  # (n+1)! / ... : 3-star orbits of front block
+        off = mt.offmodule_links_per_node(ma)
+        assert off.max() == 1  # one swap generator for l = 2
+
+    def test_vertex_transitive_sample(self):
+        assert mt.looks_vertex_transitive(macro_star(2, 2))

@@ -1,0 +1,219 @@
+"""Known-parameter tests for every classic network construction."""
+
+import math
+
+import pytest
+
+from repro import networks as nw
+from repro.metrics.distances import average_distance, diameter, is_connected
+
+
+class TestRingsMeshesTori:
+    def test_ring(self):
+        g = nw.ring(8)
+        assert g.num_nodes == 8
+        assert g.is_regular() and g.max_degree == 2
+        assert diameter(g) == 4
+
+    def test_ring_odd(self):
+        assert diameter(nw.ring(7)) == 3
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            nw.ring(2)
+
+    def test_path(self):
+        g = nw.path(5)
+        assert diameter(g) == 4
+        assert g.min_degree == 1
+
+    def test_mesh(self):
+        g = nw.mesh([3, 4])
+        assert g.num_nodes == 12
+        assert diameter(g) == 2 + 3
+
+    def test_torus_2d(self):
+        g = nw.torus([4, 4])
+        assert g.num_nodes == 16
+        assert g.is_regular() and g.max_degree == 4
+        assert diameter(g) == 4
+
+    def test_torus_k2_collapses_edges(self):
+        # wraparound in a dimension of size 2 duplicates edges
+        g = nw.torus([2, 2])
+        assert g.max_degree == 2
+
+    def test_kary_ncube(self):
+        g = nw.kary_ncube(3, 3)
+        assert g.num_nodes == 27
+        assert g.max_degree == 6
+        assert diameter(g) == 3  # n * floor(k/2)
+
+    def test_complete_graph(self):
+        g = nw.complete_graph(6)
+        assert g.num_edges() == 15
+        assert diameter(g) == 1
+
+
+class TestHypercubeFamily:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6])
+    def test_hypercube(self, n):
+        g = nw.hypercube(n)
+        assert g.num_nodes == 2**n
+        assert g.is_regular() and g.max_degree == n
+        assert diameter(g) == n
+
+    def test_hypercube_average_distance(self):
+        assert average_distance(nw.hypercube(4), assume_vertex_transitive=True) == pytest.approx(
+            4 / 2 * 16 / 15
+        )
+
+    @pytest.mark.parametrize("n,diam", [(2, 1), (3, 2), (4, 2), (5, 3), (6, 3)])
+    def test_folded_hypercube(self, n, diam):
+        g = nw.folded_hypercube(n)
+        assert g.num_nodes == 2**n
+        assert g.max_degree == n + 1
+        assert diameter(g) == diam
+
+    def test_generalized_hypercube(self):
+        g = nw.generalized_hypercube([3, 4, 2])
+        assert g.num_nodes == 24
+        assert g.max_degree == (3 - 1) + (4 - 1) + (2 - 1)
+        assert diameter(g) == 3
+
+    def test_gh_binary_is_hypercube(self):
+        import networkx as nx
+
+        a = nw.generalized_hypercube([2, 2, 2])
+        b = nw.hypercube(3)
+        assert nx.is_isomorphic(a.to_networkx(), b.to_networkx())
+
+
+class TestPermutationNetworks:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_star_graph(self, n):
+        g = nw.star_graph(n)
+        assert g.num_nodes == math.factorial(n)
+        assert g.is_regular() and g.max_degree == n - 1
+        assert diameter(g) == (3 * (n - 1)) // 2
+
+    def test_star_smaller_than_hypercube(self):
+        """The star graph's selling point: degree and diameter below a
+        comparable hypercube."""
+        s = nw.star_graph(5)  # 120 nodes
+        q = nw.hypercube(7)  # 128 nodes
+        assert s.max_degree < q.max_degree
+        assert diameter(s) < diameter(q)
+
+    @pytest.mark.parametrize("n,diam", [(2, 1), (3, 3), (4, 4), (5, 5)])
+    def test_pancake(self, n, diam):
+        g = nw.pancake_graph(n)
+        assert g.num_nodes == math.factorial(n)
+        assert g.max_degree == n - 1
+        assert diameter(g) == diam
+
+    def test_bubble_sort(self):
+        g = nw.bubble_sort_graph(4)
+        assert g.num_nodes == 24
+        assert g.max_degree == 3
+        assert diameter(g) == 4 * 3 // 2  # n(n-1)/2
+
+
+class TestShiftNetworks:
+    def test_debruijn_size_degree(self):
+        g = nw.debruijn(2, 4)
+        assert g.num_nodes == 16
+        assert g.max_degree == 4
+        assert diameter(g) <= 4
+
+    def test_debruijn_directed(self):
+        g = nw.debruijn(2, 3, directed=True)
+        assert g.directed
+        # every node has out-degree 2 (self-loops at 000/111 removed)
+        assert g.max_degree == 2
+
+    def test_debruijn_diameter_directed(self):
+        from repro.metrics.distances import eccentricities
+
+        g = nw.debruijn(2, 4, directed=True)
+        assert int(eccentricities(g).max()) == 4
+
+    def test_kautz(self):
+        g = nw.kautz(2, 3)
+        assert g.num_nodes == 3 * 2 * 2  # (d+1)d^{n-1}
+        assert is_connected(g)
+
+    def test_shuffle_exchange(self):
+        g = nw.shuffle_exchange(3)
+        assert g.num_nodes == 8
+        assert g.max_degree <= 3
+        assert diameter(g) <= 2 * 3 - 1
+
+    def test_shuffle_exchange_diameter_bound(self):
+        for n in (3, 4, 5):
+            assert diameter(nw.shuffle_exchange(n)) <= 2 * n - 1
+
+
+class TestCubeDerivatives:
+    @pytest.mark.parametrize("n,diam", [(3, 6), (4, 8), (5, 10)])
+    def test_ccc(self, n, diam):
+        from repro.analysis.formulas import ccc_diameter
+
+        g = nw.cube_connected_cycles(n)
+        assert g.num_nodes == n * 2**n
+        assert g.is_regular() and g.max_degree == 3
+        assert diameter(g) == ccc_diameter(n) == diam
+
+    def test_wrapped_butterfly(self):
+        g = nw.wrapped_butterfly(3)
+        assert g.num_nodes == 3 * 8
+        assert g.max_degree == 4
+        assert is_connected(g)
+
+
+class TestPetersen:
+    def test_parameters(self):
+        g = nw.petersen()
+        assert g.num_nodes == 10
+        assert g.is_regular() and g.max_degree == 3
+        assert diameter(g) == 2
+        assert g.num_edges() == 15
+
+    def test_girth_five(self):
+        import networkx as nx
+
+        assert nx.girth(nw.petersen().to_networkx()) == 5
+
+    def test_vertex_transitive_but_not_cayley_nucleus(self):
+        from repro.metrics.symmetry import is_vertex_transitive
+
+        assert is_vertex_transitive(nw.petersen())
+
+
+class TestHCNHFN:
+    def test_hcn_size(self):
+        g = nw.hcn(3)
+        assert g.num_nodes == 64
+
+    def test_hcn_with_diameter_links_degree(self):
+        g = nw.hcn(3)
+        # every node: n cube links + 1 swap-or-diameter link
+        assert g.is_regular() and g.max_degree == 4
+
+    def test_hcn_without_diameter_links(self):
+        g = nw.hcn(3, diameter_links=False)
+        assert g.max_degree == 4
+        assert g.min_degree == 3  # diagonal nodes lack the swap link
+
+    def test_hcn_diameter_links_shrink_diameter(self):
+        with_d = diameter(nw.hcn(3))
+        without = diameter(nw.hcn(3, diameter_links=False))
+        assert with_d <= without
+
+    def test_hfn_size_degree(self):
+        g = nw.hfn(3)
+        assert g.num_nodes == 64
+        assert g.max_degree == 5  # n cube + 1 fold + 1 swap/diameter
+
+    def test_hfn_diameter_below_hcn(self):
+        assert diameter(nw.hfn(3)) <= diameter(nw.hcn(3))

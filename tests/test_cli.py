@@ -1,0 +1,64 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import _parse_params, main
+
+
+class TestParseParams:
+    def test_ints(self):
+        assert _parse_params(["l=2", "n=3"]) == {"l": 2, "n": 3}
+
+    def test_bools(self):
+        assert _parse_params(["symmetric=true"]) == {"symmetric": True}
+        assert _parse_params(["symmetric=False"]) == {"symmetric": False}
+
+    def test_strings(self):
+        assert _parse_params(["name=abc"]) == {"name": "abc"}
+
+    def test_missing_equals(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["oops"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "hsn" in out and "hypercube" in out
+
+    def test_info_hsn(self, capsys):
+        assert main(["info", "hsn", "--param", "l=2", "--param", "n=2"]) == 0
+        out = capsys.readouterr().out
+        assert "HSN(2,Q2)" in out
+        assert "16" in out
+
+    def test_info_without_modules(self, capsys):
+        assert main(["info", "ring", "--param", "n=8", "--modules", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "ring(8)" in out
+
+    def test_info_skips_metrics_when_large(self, capsys):
+        assert main(
+            ["info", "hypercube", "--param", "n=4", "--max-metric-nodes", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "diameter" not in out
+
+    def test_figure_53(self, capsys):
+        assert main(["figure", "53"]) == 0
+        out = capsys.readouterr().out
+        assert "ring-CN" in out
+
+    def test_figure_2(self, capsys):
+        assert main(["figure", "2", "--max-log2", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "DD-cost" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9"])
+
+    def test_unknown_network(self):
+        with pytest.raises(KeyError):
+            main(["info", "not-a-net"])

@@ -1,0 +1,149 @@
+"""Tests for disjoint paths, spectral metrics, and crossover analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import networks as nw
+from repro.analysis import fig2_dd_cost, fig5_ii_cost
+from repro.analysis.crossover import crossover_size, dominance_factor, series_of
+from repro.metrics.spectral import (
+    algebraic_connectivity,
+    cheeger_bounds,
+    laplacian_spectrum,
+    spectral_gap,
+)
+from repro.routing.disjoint import (
+    edge_disjoint_paths,
+    node_disjoint_paths,
+    path_diversity,
+)
+
+
+class TestDisjointPaths:
+    def test_hypercube_has_n_disjoint_paths(self):
+        """Classic: Q_n provides n node-disjoint paths between any pair."""
+        q = nw.hypercube(4)
+        paths = node_disjoint_paths(q, 0, 15)
+        assert len(paths) == 4
+        inner = [set(p[1:-1]) for p in paths]
+        for i in range(len(inner)):
+            for j in range(i + 1, len(inner)):
+                assert not (inner[i] & inner[j])
+
+    def test_star_graph_has_degree_disjoint_paths(self):
+        """The star graph's fault-tolerance claim: n−1 disjoint paths."""
+        s = nw.star_graph(4)
+        paths = node_disjoint_paths(s, 0, s.num_nodes - 1)
+        assert len(paths) == 3
+
+    def test_paths_are_valid(self):
+        g = nw.hsn_hypercube(2, 2)
+        csr = g.adjacency_csr()
+        for p in edge_disjoint_paths(g, 0, 10):
+            for u, v in zip(p, p[1:]):
+                assert v in csr.indices[csr.indptr[u] : csr.indptr[u + 1]]
+
+    def test_edge_disjoint_at_least_node_disjoint(self):
+        g = nw.petersen()
+        e = edge_disjoint_paths(g, 0, 7)
+        n = node_disjoint_paths(g, 0, 7)
+        assert len(e) >= len(n)
+        assert len(n) == 3  # Petersen is 3-connected
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            node_disjoint_paths(nw.ring(5), 2, 2)
+
+    def test_path_diversity_symmetric_hsn(self):
+        g = nw.symmetric_hsn(2, nw.hypercube_nucleus(2))
+        rng = np.random.default_rng(0)
+        div = path_diversity(g, pairs=15, rng=rng, kind="node")
+        assert div["min_paths"] == 3  # = degree: maximal diversity
+
+    def test_path_diversity_kind_validation(self):
+        with pytest.raises(ValueError):
+            path_diversity(nw.ring(6), 2, np.random.default_rng(0), kind="x")
+
+
+class TestSpectral:
+    def test_complete_graph_spectrum(self):
+        k = nw.complete_graph(5)
+        vals = laplacian_spectrum(k)
+        assert vals[0] == pytest.approx(0, abs=1e-9)
+        assert np.allclose(vals[1:], 5.0)
+
+    def test_ring_algebraic_connectivity(self):
+        # 2 - 2cos(2*pi/n)
+        n = 12
+        expected = 2 - 2 * math.cos(2 * math.pi / n)
+        assert algebraic_connectivity(nw.ring(n)) == pytest.approx(expected)
+
+    def test_hypercube_gap(self):
+        # Q_n adjacency eigenvalues are n - 2k: second largest = n - 2
+        assert spectral_gap(nw.hypercube(4)) == pytest.approx(2.0)
+
+    def test_disconnected_zero(self):
+        from repro.core.network import Network
+
+        g = Network.from_edge_list([(i,) for i in range(4)], [(0, 1), (2, 3)])
+        assert algebraic_connectivity(g) == pytest.approx(0, abs=1e-9)
+
+    def test_cheeger_bounds_order(self):
+        lo, hi = cheeger_bounds(nw.hypercube(4))
+        assert 0 < lo <= hi
+
+    def test_cheeger_requires_regular(self):
+        with pytest.raises(ValueError):
+            cheeger_bounds(nw.hsn_hypercube(2, 2))
+
+    def test_denser_nucleus_better_gap(self):
+        """Spectral version of the nucleus-density ablation."""
+        ring_based = nw.hsn(2, nw.ring_nucleus(8), symmetric=True)
+        cube_based = nw.hsn(2, nw.hypercube_nucleus(3), symmetric=True)
+        assert algebraic_connectivity(cube_based) > algebraic_connectivity(ring_based)
+
+
+class TestCrossover:
+    @pytest.fixture(scope="class")
+    def fig2(self):
+        return fig2_dd_cost(22)
+
+    def test_series_extraction(self, fig2):
+        s = series_of(fig2, "hypercube", "DD-cost")
+        assert s == sorted(s)
+        assert all(v == round(math.log2(n)) ** 2 for n, v in s)
+
+    def test_missing_family(self, fig2):
+        with pytest.raises(KeyError):
+            series_of(fig2, "nope", "DD-cost")
+
+    def test_cn_overtakes_hypercube_early(self, fig2):
+        """The CN-vs-hypercube DD crossover falls at small N and stays."""
+        x = crossover_size(fig2, "ring-CN(l,Q4)", "hypercube", "DD-cost")
+        assert x is not None
+        assert x <= 2**16
+
+    def test_star_vs_cn_no_decisive_crossover(self, fig2):
+        f = dominance_factor(fig2, "star", "ring-CN(l,Q4)", "DD-cost", 2**16)
+        # star slightly ahead; 'comparable' means within small factors
+        assert 0.3 < f < 3
+
+    def test_ii_cost_dominance_grows(self):
+        rows = fig5_ii_cost(24)
+        f_small = dominance_factor(rows, "ring-CN(l,Q4)", "hypercube", "II-cost", 2**8)
+        f_large = dominance_factor(rows, "ring-CN(l,Q4)", "hypercube", "II-cost", 2**24)
+        assert f_large > f_small > 1
+
+    def test_torus_ii_crossover(self):
+        """The 2-D torus starts cheaper on II-cost but loses to ring-CN as
+        N grows — a genuine crossover the figure shows."""
+        rows = fig5_ii_cost(24)
+        torus_rows = [
+            dict(r, network="torus2d") for r in rows if r["network"].endswith("-ary-2-cube")
+        ]
+        merged = rows + torus_rows
+        x = crossover_size(merged, "ring-CN(l,Q4)", "torus2d", "II-cost")
+        assert x is not None
+        assert 2**6 < x < 2**16

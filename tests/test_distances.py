@@ -1,0 +1,135 @@
+"""Tests for the distance kernels (validated against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import networks as nw
+from repro.core.network import Network
+from repro.metrics.distances import (
+    average_distance,
+    bfs_distances,
+    diameter,
+    distance_histogram,
+    distance_summary,
+    eccentricities,
+    is_connected,
+    single_source_distances,
+)
+
+
+def random_connected_network(n: int, extra_edges: int, seed: int) -> Network:
+    """Random connected graph: a spanning tree plus random extra edges."""
+    rng = np.random.default_rng(seed)
+    edges = [(int(rng.integers(0, i)), i) for i in range(1, n)]
+    for _ in range(extra_edges):
+        a, b = rng.integers(0, n, 2)
+        if a != b:
+            edges.append((int(a), int(b)))
+    return Network.from_edge_list([(i,) for i in range(n)], edges)
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 40), st.integers(0, 60), st.integers(0, 10_000))
+    def test_bfs_matches_networkx(self, n, extra, seed):
+        net = random_connected_network(n, extra, seed)
+        g = net.to_networkx()
+        src = seed % n
+        ours = single_source_distances(net, src)
+        theirs = nx.single_source_shortest_path_length(g, src)
+        for v in range(n):
+            assert ours[v] == theirs[v]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 25), st.integers(0, 40), st.integers(0, 10_000))
+    def test_diameter_matches_networkx(self, n, extra, seed):
+        net = random_connected_network(n, extra, seed)
+        assert diameter(net) == nx.diameter(net.to_networkx())
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 20), st.integers(0, 30), st.integers(0, 10_000))
+    def test_average_matches_networkx(self, n, extra, seed):
+        net = random_connected_network(n, extra, seed)
+        assert average_distance(net) == pytest.approx(
+            nx.average_shortest_path_length(net.to_networkx())
+        )
+
+
+class TestKnownValues:
+    def test_hypercube_distances_are_hamming(self):
+        q = nw.hypercube(4)
+        d = single_source_distances(q, 0)
+        for i, lab in enumerate(q.labels):
+            assert d[i] == sum(lab)
+
+    def test_multi_source(self):
+        q = nw.hypercube(3)
+        d = bfs_distances(q, [0, 7])
+        assert d.shape == (2, 8)
+        assert d[0, 7] == 3 and d[1, 0] == 3
+        assert d[0, 0] == 0 and d[1, 7] == 0
+
+    def test_eccentricities_ring(self):
+        e = eccentricities(nw.ring(6))
+        assert (e == 3).all()
+
+    def test_vertex_transitive_shortcut(self):
+        g = nw.star_graph(4)
+        assert diameter(g) == diameter(g, assume_vertex_transitive=True)
+        assert average_distance(g) == pytest.approx(
+            average_distance(g, assume_vertex_transitive=True)
+        )
+
+    def test_distance_histogram(self):
+        h = distance_histogram(nw.hypercube(3), 0)
+        assert h == {0: 1, 1: 3, 2: 3, 3: 1}
+
+    def test_distance_summary(self):
+        s = distance_summary(nw.ring(8))
+        assert s.diameter == 4 and s.radius == 4
+        assert s.num_nodes == 8
+        assert "D=4" in repr(s)
+
+    def test_distance_summary_transitive(self):
+        a = distance_summary(nw.hypercube(3))
+        b = distance_summary(nw.hypercube(3), assume_vertex_transitive=True)
+        assert a.diameter == b.diameter
+        assert a.average == pytest.approx(b.average)
+
+
+class TestDisconnected:
+    def two_triangles(self):
+        return Network.from_edge_list(
+            [(i,) for i in range(6)],
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        )
+
+    def test_is_connected(self):
+        assert is_connected(nw.ring(5))
+        assert not is_connected(self.two_triangles())
+
+    def test_unreached_is_minus_one(self):
+        d = single_source_distances(self.two_triangles(), 0)
+        assert d[3] == -1 and d[0] == 0
+
+    def test_eccentricity_raises(self):
+        with pytest.raises(ValueError, match="disconnected"):
+            eccentricities(self.two_triangles())
+
+    def test_average_raises(self):
+        with pytest.raises(ValueError, match="disconnected"):
+            average_distance(self.two_triangles())
+
+
+class TestDirectedDistances:
+    def test_directed_cycle(self):
+        net = Network([(i,) for i in range(4)], [0, 1, 2, 3], [1, 2, 3, 0], directed=True)
+        d = single_source_distances(net, 0)
+        assert list(d) == [0, 1, 2, 3]
+
+    def test_directed_debruijn_diameter(self):
+        g = nw.debruijn(2, 3, directed=True)
+        assert int(eccentricities(g).max()) == 3

@@ -1,0 +1,130 @@
+"""Edge-case coverage across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.analysis.report import format_value
+from repro.core.network import Network
+from repro.sim import PacketSimulator
+from repro.sim.stats import SimStats
+
+
+class TestSimStatsEdges:
+    def test_all_undelivered(self):
+        r = nw.ring(10)
+        sim = PacketSimulator(r, delays=100)
+        stats = sim.run([(0, 0, 5)], max_cycles=1)
+        assert stats.delivered == 0
+        assert stats.undelivered == 1
+        assert stats.max_latency == -1
+        assert np.isnan(stats.mean_latency)
+
+    def test_empty_run(self):
+        r = nw.ring(5)
+        stats = PacketSimulator(r).run([])
+        assert stats.delivered == 0
+        assert stats.horizon == 1
+
+    def test_repr(self):
+        r = nw.ring(5)
+        stats = PacketSimulator(r).run([(0, 0, 2)])
+        assert "SimStats" in repr(stats)
+
+    def test_no_module_info_gives_nan_utilizations(self):
+        r = nw.ring(5)
+        stats = PacketSimulator(r).run([(0, 0, 2)])
+        assert np.isnan(stats.mean_off_utilization)
+
+
+class TestNetworkAdjacencyCache:
+    def test_directed_override_not_cached_as_default(self):
+        n = Network([(0,), (1,)], [0], [1], directed=False)
+        sym = n.adjacency_csr()
+        directed = n.adjacency_csr(directed=True)
+        assert sym.nnz == 2 and directed.nnz == 1
+        # the default view stays symmetric after the override call
+        assert n.adjacency_csr().nnz == 2
+
+    def test_empty_edge_network(self):
+        n = Network([(0,), (1,)], [], [])
+        assert n.num_edges() == 0
+        assert n.degrees().sum() == 0
+
+
+class TestReportFormatting:
+    def test_large_float_scientific(self):
+        assert "e" in format_value(1.23456e9) or "+" in format_value(1.23456e9)
+
+    def test_integer_passthrough(self):
+        assert format_value(10**9) == str(10**9)
+
+
+class TestBisectionTinyGraphs:
+    def test_fiedler_tiny(self):
+        from repro.metrics.bisection import fiedler_bisection
+
+        p = nw.path(3)
+        cut, side = fiedler_bisection(p)
+        assert side.sum() == 1
+        assert cut >= 1
+
+    def test_exact_two_nodes(self):
+        from repro.metrics.bisection import exact_bisection_width
+
+        n = Network.from_edge_list([(0,), (1,)], [(0, 1)])
+        assert exact_bisection_width(n) == 1
+
+
+class TestLayoutTiny:
+    def test_gray_layout_n1(self):
+        from repro.layout import gray_code_layout
+
+        lay = gray_code_layout(1)
+        assert lay.net.num_nodes == 2
+        assert lay.max_wire_length == 1
+
+    def test_recursive_layout_single_module(self):
+        from repro.layout import recursive_module_layout
+
+        g = nw.hypercube(2)
+        ma = mt.ModuleAssignment(g, [0, 0, 0, 0])
+        lay = recursive_module_layout(g, ma)
+        assert lay.bounding_area == 4
+
+
+class TestBallgameBackwardExpansion:
+    def test_bidirectional_expands_smaller_side(self):
+        """Force the backward frontier to expand by giving the goal fewer
+        moves from its side (asymmetric move sets still route correctly
+        because inverses are used)."""
+        from repro.core.ballgame import BallArrangementGame, solve_bidirectional
+        from repro.core.permutation import cyclic_shift_left
+
+        game = BallArrangementGame((0, 1, 2, 3), [cyclic_shift_left(4, 1)])
+        sol = solve_bidirectional(game, (0, 1, 2, 3), (3, 0, 1, 2))
+        assert sol is not None
+        assert game.play_sequence((0, 1, 2, 3), sol) == (3, 0, 1, 2)
+
+
+class TestNucleusSpecCaching:
+    def test_size_and_diameter_cached_consistent(self):
+        nuc = nw.hypercube_nucleus(3)
+        assert nuc.size() == nuc.size() == 8
+        assert nuc.diameter() == 3
+
+    def test_specs_hashable_and_equal(self):
+        a = nw.hypercube_nucleus(2)
+        b = nw.hypercube_nucleus(2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestCLIInfoIPWithoutSupergens:
+    def test_info_on_pure_nucleus_graph(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["info", "hypercube_ip", "--param", "n=3"]) == 0
+        out = capsys.readouterr().out
+        assert "Q3" in out

@@ -1,0 +1,117 @@
+"""Tests for embeddings and the paper's dilation-3 HSN claims."""
+
+import numpy as np
+import pytest
+
+from repro import networks as nw
+from repro.embed import Embedding, hypercube_into_hsn, product_into_hsn, torus_into_hsn
+
+
+class TestEmbeddingMachinery:
+    def test_identity_embedding(self):
+        g = nw.ring(6)
+        e = Embedding(g, g, np.arange(6))
+        r = e.report()
+        assert r.dilation == 1
+        assert r.avg_dilation == 1.0
+        assert r.expansion == 1.0
+        assert r.congestion == 1
+
+    def test_ring_into_hypercube_gray_code(self):
+        """Classic: the ring embeds in the hypercube with dilation 1 via a
+        Gray code."""
+        n = 4
+        q = nw.hypercube(n)
+        r = nw.ring(1 << n)
+        gray = [i ^ (i >> 1) for i in range(1 << n)]
+        e = Embedding(r, q, gray)
+        assert e.report().dilation == 1
+
+    def test_ring_into_hypercube_binary_order_is_bad(self):
+        """Mapping the ring in plain binary order has dilation n."""
+        n = 4
+        q = nw.hypercube(n)
+        r = nw.ring(1 << n)
+        e = Embedding(r, q, np.arange(1 << n))
+        assert e.report().dilation == n
+
+    def test_rejects_non_injective(self):
+        g = nw.ring(4)
+        with pytest.raises(ValueError, match="injective"):
+            Embedding(g, g, [0, 0, 1, 2])
+
+    def test_rejects_out_of_range(self):
+        g = nw.ring(4)
+        with pytest.raises(ValueError):
+            Embedding(g, g, [0, 1, 2, 7])
+
+    def test_rejects_wrong_length(self):
+        g = nw.ring(4)
+        with pytest.raises(ValueError):
+            Embedding(g, g, [0, 1])
+
+    def test_edge_router_endpoint_check(self):
+        g = nw.ring(4)
+        e = Embedding(g, g, np.arange(4), edge_router=lambda u, v: [u, u])
+        with pytest.raises(ValueError, match="endpoints"):
+            e.report()
+
+    def test_dilation_of_edge(self):
+        q2 = nw.hypercube(2)
+        q3 = nw.hypercube(3)
+        # embed Q2 into Q3 on the bottom face
+        node_map = [q3.node_of(lab + (0,)) for lab in q2.labels]
+        e = Embedding(q2, q3, node_map)
+        assert all(e.dilation_of_edge(u, v) == 1 for u, v in e.guest_edges())
+
+
+class TestHSNEmbeddings:
+    @pytest.mark.parametrize("l,n", [(2, 2), (2, 3), (3, 2)])
+    def test_hypercube_dilation_3(self, l, n):
+        """'an HSN can embed corresponding homogeneous product networks such
+        as hypercubes ... with dilation 3'."""
+        e = hypercube_into_hsn(l, n)
+        r = e.report()
+        assert r.dilation == 3
+        assert r.expansion == 1.0  # exact node identification
+
+    def test_block0_edges_are_dilation_1(self):
+        e = hypercube_into_hsn(2, 2)
+        n = 2
+        ones = 0
+        for gu, gv in e.guest_edges():
+            lu, lv = e.guest.labels[gu], e.guest.labels[gv]
+            bit = next(i for i in range(2 * n) if lu[i] != lv[i])
+            if bit < n:  # block-0 bits
+                assert e.dilation_of_edge(gu, gv) == 1
+                ones += 1
+        assert ones > 0
+
+    def test_constructive_paths_valid(self):
+        """Every 3-hop path must consist of actual host edges."""
+        from repro.routing import verify_route
+
+        e = hypercube_into_hsn(2, 2)
+        for gu, gv in e.guest_edges():
+            path = e.host_path(gu, gv)
+            assert verify_route(e.host, path)
+
+    @pytest.mark.parametrize("l,k", [(2, 3), (2, 4), (3, 3)])
+    def test_torus_dilation_3(self, l, k):
+        e = torus_into_hsn(l, k)
+        r = e.report()
+        assert r.dilation <= 3
+        assert r.expansion == 1.0
+
+    def test_congestion_bounded(self):
+        e = hypercube_into_hsn(2, 3)
+        r = e.report()
+        # each swap edge carries at most 2·n guest edges (n per direction)
+        assert r.congestion <= 2 * 3
+
+    def test_average_dilation_interpolates(self):
+        e = hypercube_into_hsn(3, 2)
+        r = e.report()
+        # one third of the dimensions are block-0 (dilation 1); the rest use
+        # the swap construction (3 hops, fewer when a swap is a self-loop)
+        assert 1.0 < r.avg_dilation <= (1 * 2 + 3 * 4) / 6

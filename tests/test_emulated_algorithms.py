@@ -1,0 +1,123 @@
+"""Tests for bitonic-sort emulation, all-to-all schedules, grand summary."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    HypercubeEmulator,
+    all_to_all_cost_on_hsn,
+    all_to_all_cost_on_hypercube,
+    bitonic_sort,
+    hypercube_all_to_all_rounds,
+)
+from repro.analysis import grand_comparison
+
+
+class TestBitonicSort:
+    @pytest.fixture(scope="class")
+    def emu(self):
+        return HypercubeEmulator(2, 2)
+
+    def _ranks(self, emu):
+        return np.array(
+            [int("".join(map(str, lab)), 2) for lab in emu.guest.labels]
+        )
+
+    def test_sorts_random_input(self, emu):
+        rng = np.random.default_rng(1)
+        vals = rng.random(emu.guest.num_nodes)
+        out, _ = bitonic_sort(emu, vals)
+        by_rank = out[np.argsort(self._ranks(emu))]
+        assert (np.diff(by_rank) >= 0).all()
+        assert sorted(out.tolist()) == sorted(vals.tolist())
+
+    def test_sorts_adversarial_inputs(self, emu):
+        n = emu.guest.num_nodes
+        for vals in (np.arange(n)[::-1], np.zeros(n), np.arange(n) % 3):
+            out, _ = bitonic_sort(emu, vals.astype(float))
+            by_rank = out[np.argsort(self._ranks(emu))]
+            assert (np.diff(by_rank) >= 0).all()
+
+    def test_step_bound_constant_slowdown(self, emu):
+        """log N (log N + 1)/2 stages, each ≤ 3 host steps."""
+        rng = np.random.default_rng(2)
+        _, steps = bitonic_sort(emu, rng.random(emu.guest.num_nodes))
+        d = emu.dims
+        stages = d * (d + 1) // 2
+        assert stages <= steps <= 3 * stages
+
+    def test_three_block_instance(self):
+        emu = HypercubeEmulator(3, 1)
+        rng = np.random.default_rng(3)
+        vals = rng.random(emu.guest.num_nodes)
+        out, steps = bitonic_sort(emu, vals)
+        ranks = np.array(
+            [int("".join(map(str, lab)), 2) for lab in emu.guest.labels]
+        )
+        assert (np.diff(out[np.argsort(ranks)]) >= 0).all()
+
+
+class TestAllToAll:
+    def test_rounds(self):
+        rounds = hypercube_all_to_all_rounds(4)
+        assert len(rounds) == 4
+        assert all(v == 8 for _, v in rounds)
+
+    def test_hypercube_cost_formula(self):
+        # (N/2) * log N
+        assert all_to_all_cost_on_hypercube(5) == 16 * 5
+
+    def test_hsn_cost_within_3x(self):
+        """The paper's 'asymptotically optimal slowdown' for total
+        exchange: the emulated cost is between 1x and 3x the hypercube's."""
+        emu = HypercubeEmulator(2, 3)
+        base = all_to_all_cost_on_hypercube(emu.dims)
+        emulated = all_to_all_cost_on_hsn(emu)
+        assert base <= emulated <= 3 * base
+
+    def test_hsn_cost_exact_profile(self):
+        """Block-0 dimensions cost 1x, the rest 3x (or less when swaps
+        collapse): for HSN(2,Q2), cost = (N/2)·(2·1 + 2·3) at worst."""
+        emu = HypercubeEmulator(2, 2)
+        emulated = all_to_all_cost_on_hsn(emu)
+        volume = 1 << (emu.dims - 1)
+        assert emulated == volume * sum(emu.slowdown_per_dimension)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hypercube_all_to_all_rounds(0)
+
+
+class TestGrandComparison:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return grand_comparison(64, module_cap=16)
+
+    def test_has_many_families(self, table):
+        assert len(table) >= 10
+        names = {r["network"] for r in table}
+        assert any("HSN" in n for n in names)
+        assert any(n.startswith("Q") for n in names)
+
+    def test_sorted_by_ii(self, table):
+        ii = [r["II"] for r in table]
+        assert ii == sorted(ii)
+
+    def test_all_measured_fields_present(self, table):
+        for r in table:
+            for key in ("degree", "diameter", "avg dist", "I-degree", "DD", "II"):
+                assert r[key] is not None
+
+    def test_superip_in_top_half_by_ii(self, table):
+        names = [r["network"] for r in table]
+        idx = next(i for i, n in enumerate(names) if "HSN" in n)
+        assert idx < len(names) / 2
+
+    def test_cli_summary(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["summary", "--size", "32", "--module-cap", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "II" in out

@@ -1,0 +1,163 @@
+"""Tests for the figure-regeneration harness: the paper's qualitative
+claims (who wins, by roughly what factor) must hold in our data."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    fig2_dd_cost,
+    fig3_intercluster,
+    fig3_intercluster_measured,
+    fig4_id_cost,
+    fig5_ii_cost,
+    render_table,
+    sec53_offmodule_table,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return fig2_dd_cost(20)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return fig3_intercluster(max_l=4)
+
+
+@pytest.fixture(scope="module")
+def fig45():
+    return fig5_ii_cost(20)
+
+
+def closest(rows, family, n, key="DD-cost"):
+    """Row of the given family (exact name) closest in size to n."""
+    cand = [r for r in rows if r["network"] == family]
+    assert cand, f"no rows for {family}"
+    return min(cand, key=lambda r: abs(math.log2(r["N"]) - math.log2(n)))
+
+
+class TestFig2Shape:
+    def test_nonempty_and_wellformed(self, fig2):
+        assert len(fig2) > 80
+        for r in fig2:
+            assert r["DD-cost"] == r["degree"] * r["diameter"]
+            assert r["N"] >= 6
+
+    def test_cn_beats_hypercube(self, fig2):
+        """'cyclic-shift networks ... outperform other popular topologies
+        significantly under this criterion, especially when the network
+        size is large'."""
+        for n in (2**12, 2**16, 2**20):
+            cn = closest(fig2, "ring-CN(l,Q4)", n)
+            hc = closest(fig2, "hypercube", n)
+            assert cn["DD-cost"] < hc["DD-cost"]
+
+    def test_cn_beats_ring_and_torus_massively(self, fig2):
+        cn = closest(fig2, "ring-CN(l,Q4)", 2**16)
+        ring = closest(fig2, "ring", 2**16)
+        torus_rows = [r for r in fig2 if r["network"].endswith("-ary-2-cube")]
+        torus = min(torus_rows, key=lambda r: abs(math.log2(r["N"]) - 16))
+        assert cn["DD-cost"] * 10 < ring["DD-cost"]
+        assert cn["DD-cost"] * 2 < torus["DD-cost"]
+
+    def test_cn_comparable_to_star(self, fig2):
+        """'cyclic-shift networks have DD-cost that is comparable to that of
+        the star graph'."""
+        for n in (2**12, 2**16):
+            cn = closest(fig2, "ring-CN(l,Q4)", n)
+            star = closest(fig2, "star", n)
+            assert cn["DD-cost"] <= 2.5 * star["DD-cost"]
+            assert star["DD-cost"] <= 2.5 * cn["DD-cost"]
+
+    def test_hcn_beats_comparable_hypercube(self, fig2):
+        for n in (2**10, 2**14):
+            hcn = closest(fig2, "HCN(n,n)", n)
+            hc = closest(fig2, "hypercube", n)
+            assert hcn["DD-cost"] <= hc["DD-cost"]
+
+    def test_monotone_growth_within_family(self, fig2):
+        fams = {}
+        for r in fig2:
+            fams.setdefault(r["network"], []).append(r)
+        for rows in fams.values():
+            rows.sort(key=lambda r: r["N"])
+            dd = [r["DD-cost"] for r in rows]
+            assert dd == sorted(dd)
+
+
+class TestFig3Shape:
+    def test_rows(self, fig3):
+        assert len(fig3) >= 9
+        for r in fig3:
+            assert r["I-diameter"] is not None
+            assert r["avg I-dist"] <= r["I-diameter"]
+
+    def test_hcn_flat_at_one(self, fig3):
+        """HCN(n,n) keeps I-diameter = 1 while it fits the module cap."""
+        for r in fig3:
+            if r["network"].startswith("HCN"):
+                assert r["I-diameter"] == 1
+
+    def test_superip_idiameter_is_l_minus_1(self, fig3):
+        for r in fig3:
+            if "HSN(l" in r["network"]:
+                l = round(math.log(r["N"], 16))
+                assert r["I-diameter"] == l - 1
+
+    def test_measured_matches_formula_where_overlapping(self, fig3):
+        measured = fig3_intercluster_measured()
+        formula_by_key = {(r["network"].split("(")[0], r["N"]): r for r in fig3}
+        hits = 0
+        for m in measured:
+            key = (m["network"].split("(")[0], m["N"])
+            f = formula_by_key.get(key)
+            if f is None or m["module"] != f["module"]:
+                continue
+            assert m["I-diameter"] == f["I-diameter"]
+            assert m["avg I-dist"] == pytest.approx(f["avg I-dist"], abs=0.01)
+            hits += 1
+        assert hits >= 2
+
+
+class TestFig45Shape:
+    def test_ring_cn_wins_ii_cost(self, fig45):
+        """'cyclic-shift networks have II-cost considerably smaller than
+        those of other popular topologies'."""
+        for n in (2**12, 2**16, 2**20):
+            cn = closest(fig45, "ring-CN(l,Q4)", n, key="II-cost")
+            hc = closest(fig45, "hypercube", n, key="II-cost")
+            assert cn["II-cost"] < hc["II-cost"]
+
+    def test_ring_cn_ii_cost_bounded(self, fig45):
+        """Ring-CN I-degree ≤ 2 and I-diameter = l−1: II-cost grows only
+        logarithmically in N."""
+        for r in fig45:
+            if r["network"] == "ring-CN(l,Q4)":
+                l = round(math.log(r["N"], 16))
+                assert r["II-cost"] <= 2 * (l - 1) + 0.01
+
+    def test_hypercube_ii_cost_quadratic(self, fig45):
+        for r in fig45:
+            if r["network"] == "hypercube":
+                n = round(math.log2(r["N"]))
+                assert r["II-cost"] == (n - 4) ** 2
+
+    def test_id_cost_ordering(self):
+        rows = fig4_id_cost(18)
+        cn = closest(rows, "ring-CN(l,Q4)", 2**16, key="ID-cost")
+        hc = closest(rows, "hypercube", 2**16, key="ID-cost")
+        assert cn["ID-cost"] < hc["ID-cost"]
+
+
+class TestSec53Table:
+    def test_matches_paper(self):
+        rows = sec53_offmodule_table()
+        for r in rows:
+            assert r["max off-links/node"] == r["paper"], r
+
+    def test_render(self):
+        rows = sec53_offmodule_table()
+        out = render_table(rows)
+        assert "ring-CN" in out and "paper" in out

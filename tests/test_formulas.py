@@ -1,0 +1,243 @@
+"""Validation of every closed-form family descriptor against exhaustive BFS.
+
+This is the backbone of the figure reproduction: the large-size points in
+Figures 2-5 come from these formulas, so each one is checked on every size
+small enough to build.
+"""
+
+import math
+
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.analysis.formulas import (
+    ccc_point,
+    complete_cn_point,
+    debruijn_point,
+    folded_hypercube_point,
+    hcn_point,
+    hsn_point,
+    hypercube_point,
+    ring_cn_point,
+    ring_point,
+    shuffle_exchange_point,
+    star_diameter,
+    star_point,
+    super_flip_point,
+    supergen_module_quotient,
+    symmetric_superip_point,
+    torus_point,
+)
+from repro.core.superip import SuperGeneratorSet
+
+
+class TestBaselineFormulas:
+    @pytest.mark.parametrize("n", [6, 9, 16])
+    def test_ring(self, n):
+        pt = ring_point(n)
+        g = nw.ring(n)
+        assert pt.degree == g.max_degree
+        assert pt.diameter == mt.diameter(g)
+
+    def test_ring_modules(self):
+        pt = ring_point(16, module_size=4)
+        g = nw.ring(16)
+        ma = mt.contiguous_modules(g, 4)
+        assert pt.i_diameter == mt.intercluster_diameter(ma)
+        assert pt.i_degree == pytest.approx(mt.intercluster_degree(ma))
+
+    @pytest.mark.parametrize("k,dims", [(4, 2), (5, 2), (3, 3)])
+    def test_torus(self, k, dims):
+        pt = torus_point(k, dims)
+        g = nw.torus([k] * dims)
+        assert pt.num_nodes == g.num_nodes
+        assert pt.degree == g.max_degree
+        assert pt.diameter == mt.diameter(g)
+
+    def test_torus_modules(self):
+        pt = torus_point(8, 2, module_side=4)
+        g = nw.torus([8, 8])
+        ma = mt.modules_by_key(g, lambda lab: (lab[0] // 4, lab[1] // 4))
+        assert pt.i_diameter == mt.intercluster_diameter(ma)
+        assert pt.i_degree == pytest.approx(mt.intercluster_degree(ma))
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_hypercube(self, n):
+        pt = hypercube_point(n)
+        g = nw.hypercube(n)
+        assert (pt.num_nodes, pt.degree, pt.diameter) == (
+            g.num_nodes, g.max_degree, mt.diameter(g),
+        )
+
+    @pytest.mark.parametrize("n,c", [(5, 2), (6, 3), (7, 4)])
+    def test_hypercube_modules(self, n, c):
+        pt = hypercube_point(n, module_bits=c)
+        g = nw.hypercube(n)
+        ma = mt.subcube_modules(g, c)
+        assert pt.i_degree == mt.intercluster_degree(ma)
+        assert pt.i_diameter == mt.intercluster_diameter(ma)
+        assert pt.avg_i_distance == pytest.approx(
+            mt.average_intercluster_distance(ma)
+        )
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_folded_hypercube(self, n):
+        pt = folded_hypercube_point(n)
+        g = nw.folded_hypercube(n)
+        assert pt.degree == g.max_degree
+        assert pt.diameter == mt.diameter(g)
+
+    @pytest.mark.parametrize("n,c", [(5, 2), (6, 3)])
+    def test_folded_hypercube_modules(self, n, c):
+        pt = folded_hypercube_point(n, module_bits=c)
+        g = nw.folded_hypercube(n)
+        ma = mt.subcube_modules(g, c)
+        assert pt.i_degree == mt.intercluster_degree(ma)
+        assert pt.i_diameter == mt.intercluster_diameter(ma)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_star(self, n):
+        pt = star_point(n)
+        g = nw.star_graph(n)
+        assert pt.num_nodes == g.num_nodes
+        assert pt.degree == g.max_degree
+        assert pt.diameter == mt.diameter(g) == star_diameter(n)
+
+    def test_star_modules(self):
+        pt = star_point(5, module_substar=3)
+        g = nw.star_graph(5)
+        ma = mt.modules_by_key(g, lambda lab: lab[3:])
+        assert pt.i_degree == mt.intercluster_degree(ma)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_debruijn(self, n):
+        pt = debruijn_point(n)
+        g = nw.debruijn(2, n)
+        assert pt.degree == g.max_degree
+        assert mt.diameter(g) <= pt.diameter  # undirected can shortcut
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_ccc(self, n):
+        pt = ccc_point(n)
+        g = nw.cube_connected_cycles(n)
+        assert pt.num_nodes == g.num_nodes
+        assert pt.degree == g.max_degree
+        assert pt.diameter == mt.diameter(g)
+
+    def test_ccc_modules(self):
+        pt = ccc_point(4)
+        g = nw.cube_connected_cycles(4)
+        ma = mt.modules_by_key(g, lambda lab: lab[0])  # one cycle per module
+        assert pt.i_degree == pytest.approx(mt.intercluster_degree(ma))
+        assert pt.i_diameter == mt.intercluster_diameter(ma)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_shuffle_exchange(self, n):
+        pt = shuffle_exchange_point(n)
+        g = nw.shuffle_exchange(n)
+        assert pt.num_nodes == g.num_nodes
+        assert pt.degree >= g.max_degree
+        assert mt.diameter(g) <= pt.diameter
+
+
+SUPERIP_CASES = [
+    ("hsn", hsn_point, nw.hsn),
+    ("ring_cn", ring_cn_point, nw.ring_cn),
+    ("complete_cn", complete_cn_point, nw.complete_cn),
+    ("super_flip", super_flip_point, nw.super_flip),
+]
+
+
+class TestSuperIPFormulas:
+    @pytest.mark.parametrize("name,point_fn,builder", SUPERIP_CASES)
+    @pytest.mark.parametrize("l,n", [(2, 2), (3, 2), (2, 3)])
+    def test_against_measurement(self, name, point_fn, builder, l, n):
+        nuc = nw.hypercube_nucleus(n)
+        pt = point_fn(l, nuc.size(), n, n, nuc.name)
+        g = builder(l, nuc)
+        ma = mt.nucleus_modules(g)
+        assert pt.num_nodes == g.num_nodes
+        assert pt.degree == g.max_degree
+        assert pt.diameter == mt.diameter(g)
+        assert pt.i_degree == pytest.approx(mt.intercluster_degree(ma))
+        assert pt.i_diameter == mt.intercluster_diameter(ma)
+        assert pt.avg_i_distance == pytest.approx(
+            mt.average_intercluster_distance(ma)
+        )
+
+    def test_hcn_point(self):
+        pt = hcn_point(3)
+        g = nw.hsn_hypercube(2, 3)
+        assert pt.num_nodes == 64
+        assert pt.degree == g.max_degree
+        assert pt.diameter == mt.diameter(g)
+
+    @pytest.mark.parametrize("fam,factory,builder", [
+        ("symHSN", SuperGeneratorSet.transpositions, nw.hsn),
+        ("symCN", SuperGeneratorSet.ring, nw.ring_cn),
+        ("symFlip", SuperGeneratorSet.flips, nw.super_flip),
+    ])
+    def test_symmetric_points(self, fam, factory, builder):
+        nuc = nw.hypercube_nucleus(2)
+        sgs = factory(2)
+        pt = symmetric_superip_point(fam, sgs, nuc.size(), 2, 2, nuc.name)
+        g = builder(2, nuc, symmetric=True)
+        assert pt.num_nodes == g.num_nodes
+        assert pt.degree == g.max_degree
+        assert pt.diameter == mt.diameter(g)
+
+
+class TestQuotientGraph:
+    def test_hsn_quotient_is_generalized_hypercube(self):
+        import networkx as nx
+
+        q = supergen_module_quotient(SuperGeneratorSet.transpositions(3), 4)
+        gh = nw.generalized_hypercube([4, 4])
+        assert nx.is_isomorphic(q.to_networkx(), gh.to_networkx())
+
+    def test_ring_cn_quotient_is_debruijn_like(self):
+        """For l = 2 the ring-CN quotient is the complete graph K_M."""
+        q = supergen_module_quotient(SuperGeneratorSet.ring(2), 5)
+        assert q.num_nodes == 5
+        assert q.num_edges() == 10  # K5
+
+    def test_quotient_distances_match_full_network(self):
+        """Quotient distances = exact minimum off-module hop counts."""
+        l, n = 3, 2
+        g = nw.ring_cn_hypercube(l, n)
+        ma = mt.nucleus_modules(g)
+        full = mt.intercluster_distances(ma)
+        q = supergen_module_quotient(SuperGeneratorSet.ring(l), 1 << n)
+        from repro.metrics.distances import bfs_distances
+        import numpy as np
+
+        qd = bfs_distances(q, np.arange(q.num_nodes))
+        assert int(full.max()) == int(qd.max())
+        assert sorted(np.asarray(full).ravel()) == sorted(qd.ravel())
+
+    def test_quotient_size_guard(self):
+        with pytest.raises(ValueError, match="too large"):
+            supergen_module_quotient(SuperGeneratorSet.ring(8), 64, max_nodes=100)
+
+    def test_flip_quotient_i_diameter(self):
+        pt = super_flip_point(3, 8, 3, 3, "Q3")
+        assert pt.i_diameter == 2  # = t = l - 1
+
+
+class TestFamilyPointProperties:
+    def test_costs(self):
+        pt = hypercube_point(6, module_bits=4)
+        assert pt.dd_cost == 36
+        assert pt.id_cost == 12.0
+        assert pt.ii_cost == 4.0
+        assert pt.log2_n == 6.0
+
+    def test_none_costs(self):
+        pt = hypercube_point(6)
+        assert pt.id_cost is None
+        assert pt.ii_cost is None
+
+    def test_torus_validation(self):
+        with pytest.raises(ValueError):
+            torus_point(2, 3)

@@ -1,0 +1,97 @@
+"""Tests for the explicit-nucleus super-graph constructor and report tools."""
+
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.analysis.report import format_value, render_table
+from repro.core.superip import SuperGeneratorSet
+from repro.networks.hier import explicit_super_graph
+
+
+class TestExplicitSuperGraph:
+    def test_petersen_hsn(self):
+        g = explicit_super_graph(nw.petersen(), SuperGeneratorSet.transpositions(2))
+        assert g.num_nodes == 100
+        # degree: nucleus 3 + 1 swap
+        assert g.max_degree == 4
+        assert mt.diameter(g) == 2 * 2 + 1  # Theorem 4.1 with D_G = 2
+
+    def test_petersen_ring_cn_l3(self):
+        g = explicit_super_graph(nw.petersen(), SuperGeneratorSet.ring(3))
+        assert g.num_nodes == 1000
+        assert mt.diameter(g) == 3 * 2 + 2
+
+    def test_symmetric_counts(self):
+        g = explicit_super_graph(
+            nw.petersen(), SuperGeneratorSet.ring(2), symmetric=True
+        )
+        # symmetric variant: |A| * M^l = 2 * 100
+        assert g.num_nodes == 200
+
+    def test_nucleus_modules_and_metrics(self):
+        g = explicit_super_graph(nw.petersen(), SuperGeneratorSet.transpositions(3))
+        ma = mt.nucleus_modules(g)
+        assert ma.num_modules == 100
+        assert ma.max_module_size == 10
+        assert mt.intercluster_diameter(ma) == 2  # l - 1
+
+    def test_quotient_formula_matches_explicit_nucleus(self):
+        """The module-quotient I-metrics hold for ANY nucleus, including
+        non-Cayley ones like Petersen."""
+        from repro.analysis.formulas import superip_point
+
+        g = explicit_super_graph(nw.petersen(), SuperGeneratorSet.transpositions(2))
+        ma = mt.nucleus_modules(g)
+        pt = superip_point(
+            "HSN(l,P)", SuperGeneratorSet.transpositions(2), 10, 3, 2, "P"
+        )
+        assert pt.i_diameter == mt.intercluster_diameter(ma)
+        assert pt.avg_i_distance == pytest.approx(
+            mt.average_intercluster_distance(ma)
+        )
+        assert pt.i_degree == pytest.approx(mt.intercluster_degree(ma))
+
+    def test_max_nodes_guard(self):
+        with pytest.raises(ValueError, match="max_nodes"):
+            explicit_super_graph(
+                nw.petersen(), SuperGeneratorSet.ring(3), max_nodes=100
+            )
+
+    def test_disconnected_nucleus_fails_gracefully(self):
+        """With a disconnected nucleus the closure only reaches part of the
+        product — sizes reflect the reachable component."""
+        from repro.core.network import Network
+
+        two = Network.from_edge_list([(0,), (1,), (2,), (3,)], [(0, 1), (2, 3)])
+        g = explicit_super_graph(two, SuperGeneratorSet.transpositions(2))
+        # only states reachable from (0, 0): front block explores {0,1} and
+        # swaps keep components; 2 values per block => 4 nodes
+        assert g.num_nodes == 4
+
+
+class TestReportRendering:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(3.14159) == "3.142"
+        assert format_value(2.0) == "2"
+        assert format_value(float("nan")) == "-"
+        assert format_value(7) == "7"
+
+    def test_render_empty(self):
+        assert render_table([]) == "(empty)"
+
+    def test_render_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 1000, "b": None}]
+        out = render_table(rows)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "-" in lines[3]  # None rendered as -
+
+    def test_render_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = render_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]

@@ -1,0 +1,101 @@
+"""Tests for the module-aware hierarchical broadcast."""
+
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.algorithms import broadcast_schedule, schedule_traffic_split
+from repro.algorithms.hierarchical import hierarchical_broadcast_schedule
+
+
+class TestHierarchicalBroadcast:
+    @pytest.mark.parametrize("builder,cluster", [
+        (lambda: nw.hsn_hypercube(2, 3), mt.nucleus_modules),
+        (lambda: nw.hsn_hypercube(3, 2), mt.nucleus_modules),
+        (lambda: nw.ring_cn_hypercube(3, 2), mt.nucleus_modules),
+        (lambda: nw.hypercube(6), lambda g: mt.subcube_modules(g, 3)),
+        (lambda: nw.cube_connected_cycles(3), lambda g: mt.modules_by_key(g, lambda lab: lab[0])),
+    ])
+    def test_valid_complete_and_optimal_offmodule(self, builder, cluster):
+        g = builder()
+        ma = cluster(g)
+        sched = hierarchical_broadcast_schedule(g, ma)
+        sched.validate(g)
+        assert sched.total_messages() == g.num_nodes - 1
+        _, off = schedule_traffic_split(sched, ma)
+        assert off == ma.num_modules - 1  # provably minimum
+
+    def test_beats_generic_on_hypercube(self):
+        """On the hypercube the generic BFS broadcast crosses modules 8x
+        more often; the hierarchical schedule achieves the minimum."""
+        g = nw.hypercube(6)
+        ma = mt.subcube_modules(g, 3)
+        _, off_h = schedule_traffic_split(hierarchical_broadcast_schedule(g, ma), ma)
+        _, off_g = schedule_traffic_split(broadcast_schedule(g), ma)
+        assert off_h == 7
+        assert off_g > 5 * off_h
+
+    def test_superip_generic_already_optimal(self):
+        """The paper's claim quantified: on super-IP graphs even the
+        module-oblivious broadcast stays at the off-module minimum."""
+        for g in (nw.hsn_hypercube(3, 2), nw.ring_cn_hypercube(3, 2)):
+            ma = mt.nucleus_modules(g)
+            _, off_g = schedule_traffic_split(broadcast_schedule(g), ma)
+            assert off_g == ma.num_modules - 1
+
+    def test_nonzero_root(self):
+        g = nw.hsn_hypercube(2, 2)
+        ma = mt.nucleus_modules(g)
+        sched = hierarchical_broadcast_schedule(g, ma, root=7)
+        sched.validate(g)
+        assert sched.total_messages() == g.num_nodes - 1
+
+    def test_disconnected_raises(self):
+        from repro.core.network import Network
+
+        net = Network.from_edge_list([(i,) for i in range(4)], [(0, 1), (2, 3)])
+        ma = mt.ModuleAssignment(net, [0, 0, 1, 1])
+        with pytest.raises(ValueError, match="disconnected"):
+            hierarchical_broadcast_schedule(net, ma)
+
+    def test_single_module(self):
+        g = nw.hypercube(3)
+        ma = mt.ModuleAssignment(g, [0] * 8)
+        sched = hierarchical_broadcast_schedule(g, ma)
+        sched.validate(g)
+        _, off = schedule_traffic_split(sched, ma)
+        assert off == 0
+
+
+class TestScheduleMakespan:
+    def test_unit_delays(self):
+        from repro.algorithms import broadcast_schedule, schedule_makespan
+
+        g = nw.hypercube(4)
+        sched = broadcast_schedule(g)
+        assert schedule_makespan(sched, g) == sched.num_steps
+
+    def test_slow_offmodule_links_stretch_generic_broadcast(self):
+        """With off-module links 10x slower, the hierarchical broadcast's
+        makespan beats the generic one on the hypercube (fewer rounds touch
+        a slow link)."""
+        from repro.algorithms import (
+            broadcast_schedule,
+            schedule_makespan,
+        )
+        from repro.algorithms.hierarchical import hierarchical_broadcast_schedule
+        from repro.sim import on_off_module_delay
+
+        g = nw.hypercube(6)
+        ma = mt.subcube_modules(g, 3)
+        delays = on_off_module_delay(g, ma, off_factor=10)
+        generic = schedule_makespan(broadcast_schedule(g), g, delays)
+        hier = schedule_makespan(hierarchical_broadcast_schedule(g, ma), g, delays)
+        assert hier <= generic
+
+    def test_non_edge_rejected(self):
+        from repro.algorithms import Schedule, schedule_makespan
+
+        g = nw.ring(5)
+        with pytest.raises(ValueError, match="not an edge"):
+            schedule_makespan(Schedule([[(0, 2)]]), g)

@@ -1,0 +1,66 @@
+"""Tests for network persistence."""
+
+import numpy as np
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.io import load_network, save_network
+
+
+class TestRoundTrip:
+    def test_plain_network(self, tmp_path):
+        g = nw.petersen()
+        p = save_network(g, tmp_path / "petersen")
+        h = load_network(p)
+        assert h.name == g.name
+        assert h.labels == g.labels
+        assert h.num_edges() == g.num_edges()
+        assert mt.diameter(h) == 2
+
+    def test_ipgraph_full_state(self, tmp_path):
+        g = nw.hsn_hypercube(2, 2)
+        p = save_network(g, tmp_path / "hsn.npz")
+        h = load_network(p)
+        assert h.labels == g.labels
+        assert (h.edges_src == g.edges_src).all()
+        assert (h.edges_gen == g.edges_gen).all()
+        assert [x.kind for x in h.generators] == [x.kind for x in g.generators]
+        assert h.seed == g.seed
+        # nucleus-module clustering must survive the round trip
+        assert mt.intercluster_diameter(mt.nucleus_modules(h)) == 1
+
+    def test_directed(self, tmp_path):
+        g = nw.debruijn(2, 3, directed=True)
+        h = load_network(save_network(g, tmp_path / "db"))
+        assert h.directed
+        assert h.num_edges() == g.num_edges()
+
+    def test_suffix_added(self, tmp_path):
+        p = save_network(nw.ring(5), tmp_path / "r")
+        assert p.suffix == ".npz"
+        assert p.exists()
+
+    def test_apply_generator_after_load(self, tmp_path):
+        g = nw.hsn_hypercube(2, 2)
+        h = load_network(save_network(g, tmp_path / "g"))
+        for node in (0, 3, 9):
+            for k in range(len(g.generators)):
+                assert h.apply_generator(node, k) == g.apply_generator(node, k)
+
+    def test_string_labels(self, tmp_path):
+        from repro.core.network import Network
+
+        g = Network.from_edge_list(
+            [("a",), ("b",), ("c",)], [(0, 1), (1, 2)], name="strs"
+        )
+        h = load_network(save_network(g, tmp_path / "s"))
+        assert h.labels == [("a",), ("b",), ("c",)]
+
+    def test_version_guard(self, tmp_path):
+        p = save_network(nw.ring(4), tmp_path / "v")
+        data = dict(np.load(p, allow_pickle=False))
+        data["version"] = np.int64(99)
+        np.savez_compressed(p, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_network(p)

@@ -1,0 +1,163 @@
+"""Tests for the recursive grid layout subsystem."""
+
+import numpy as np
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.layout import (
+    GridLayout,
+    gray_code_layout,
+    recursive_module_layout,
+    row_major_layout,
+)
+
+
+class TestGridLayout:
+    def test_positions_validated(self):
+        r = nw.ring(4)
+        with pytest.raises(ValueError, match="distinct"):
+            GridLayout(r, np.zeros((4, 2), dtype=int))
+        with pytest.raises(ValueError):
+            GridLayout(r, np.zeros((3, 2), dtype=int))
+
+    def test_ring_row_major(self):
+        r = nw.ring(9)
+        lay = row_major_layout(r)
+        assert lay.bounding_area == 9
+        # consecutive ids adjacent except at row breaks and the wrap edge
+        w = lay.wire_lengths()
+        assert w.min() == 1
+
+    def test_wire_lengths_manhattan(self):
+        p = nw.path(3)
+        lay = GridLayout(p, np.array([[0, 0], [2, 0], [2, 3]]))
+        assert sorted(lay.wire_lengths().tolist()) == [2, 3]
+        assert lay.max_wire_length == 3
+        assert lay.total_wire_length == 5
+
+    def test_congestion_counts_crossings(self):
+        # two nodes far apart joined by one wire: congestion 1
+        p = nw.path(2)
+        lay = GridLayout(p, np.array([[0, 0], [5, 0]]))
+        assert lay.cut_congestion() == 1
+
+    def test_summary_keys(self):
+        lay = row_major_layout(nw.hypercube(3))
+        s = lay.summary()
+        assert {"area", "max wire", "total wire", "congestion"} <= set(s)
+
+
+class TestGrayCodeLayout:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_valid(self, n):
+        lay = gray_code_layout(n)
+        assert lay.net.num_nodes == 2**n
+        assert lay.bounding_area == 2**n  # perfectly packed rectangle
+
+    def test_total_wire_matches_optimal_binary(self):
+        """Binary order is total-wire-optimal for 1-D hypercube layouts;
+        the Gray relabeling is a bijection per axis, so the totals tie."""
+        n = 6
+        gray = gray_code_layout(n)
+        naive = row_major_layout(nw.hypercube(n))
+        assert gray.total_wire_length == naive.total_wire_length
+
+    def test_gray_rows_are_unit_hamiltonian_paths(self):
+        """The Gray layout's defining property: horizontally adjacent grid
+        positions always hold cube neighbors (a unit-length Hamiltonian
+        snake per row) — false for the binary row-major layout."""
+        n = 4
+        lay = gray_code_layout(n)
+        net = lay.net
+        pos_of = {tuple(p): i for i, p in enumerate(lay.positions.tolist())}
+        csr = net.adjacency_csr()
+
+        def adjacent(u, v):
+            return v in csr.indices[csr.indptr[u] : csr.indptr[u + 1]]
+
+        cols = 1 << (n - n // 2)
+        rowsn = 1 << (n // 2)
+        for y in range(rowsn):
+            for x in range(cols - 1):
+                u, v = pos_of[(x, y)], pos_of[(x + 1, y)]
+                assert adjacent(u, v)
+        # the binary layout violates this (e.g. columns 3->4 flip 3 bits)
+        naive = row_major_layout(nw.hypercube(n), width=cols)
+        npos_of = {tuple(p): i for i, p in enumerate(naive.positions.tolist())}
+        violations = 0
+        for y in range(rowsn):
+            for x in range(cols - 1):
+                u, v = npos_of[(x, y)], npos_of[(x + 1, y)]
+                if not adjacent(u, v):
+                    violations += 1
+        assert violations > 0
+
+
+class TestRecursiveModuleLayout:
+    def test_hsn_recursive_layout(self):
+        g = nw.hsn_hypercube(2, 3)
+        ma = mt.nucleus_modules(g)
+        lay = recursive_module_layout(g, ma)
+        assert lay.net is g
+        s = lay.summary()
+        assert s["N"] == 64
+
+    def test_wrong_assignment_rejected(self):
+        g = nw.hsn_hypercube(2, 2)
+        h = nw.hsn_hypercube(2, 3)
+        ma = mt.nucleus_modules(h)
+        with pytest.raises(ValueError):
+            recursive_module_layout(g, ma)
+
+    def test_intra_module_wires_short(self):
+        """The recursive scheme's point: intra-module wires stay within the
+        block (length ≤ 2·⌈√M⌉), regardless of network size."""
+        import math
+
+        g = nw.hsn_hypercube(2, 3)
+        ma = mt.nucleus_modules(g)
+        lay = recursive_module_layout(g, ma)
+        block = math.ceil(math.sqrt(ma.max_module_size))
+        src, dst = lay._edges()
+        mod = ma.module_of
+        intra = mod[src] == mod[dst]
+        w = np.abs(lay.positions[src] - lay.positions[dst]).sum(axis=1)
+        assert w[intra].max() <= 2 * block
+
+    def test_recursive_beats_row_major_for_hierarchical(self):
+        """Hierarchical networks lay out better with the module scheme."""
+        g = nw.hsn_hypercube(2, 3)
+        ma = mt.nucleus_modules(g)
+        rec = recursive_module_layout(g, ma)
+        naive = row_major_layout(g)
+        assert rec.total_wire_length <= naive.total_wire_length
+
+    def test_hierarchical_wire_profile(self):
+        """§5's economics: most wires short (on-module), few long ones.
+        For HSN(2,Q4) at least 80% of wires are intra-module."""
+        g = nw.hsn_hypercube(2, 4)
+        ma = mt.nucleus_modules(g)
+        lay = recursive_module_layout(g, ma)
+        src, dst = lay._edges()
+        intra = (ma.module_of[src] == ma.module_of[dst]).mean()
+        assert intra >= 0.8
+
+    def test_congestion_sane(self):
+        g = nw.hsn_hypercube(2, 2)
+        ma = mt.nucleus_modules(g)
+        lay = recursive_module_layout(g, ma)
+        assert lay.cut_congestion() >= 1
+
+
+class TestLayoutBisectionConsistency:
+    def test_median_cut_at_least_bisection(self):
+        """A balanced vertical cut of any layout crosses at least the
+        bisection width — linking the layout congestion to the §5.1
+        bisection metric."""
+        from repro.metrics.bisection import exact_bisection_width
+
+        for g in (nw.hypercube(4), nw.ring(16)):
+            lay = row_major_layout(g, width=4)
+            bw = exact_bisection_width(g)
+            assert lay.cut_congestion() >= bw

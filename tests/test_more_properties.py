@@ -1,0 +1,93 @@
+"""Additional property-based tests: persistence round-trips, simulator
+conservation laws, and wormhole/packet consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.network import Network
+from repro.io import load_network, save_network
+from repro.sim import PacketSimulator, uniform_random
+from repro.sim.wormhole import WormholeSimulator
+
+
+def random_connected(n: int, extra: int, seed: int) -> Network:
+    rng = np.random.default_rng(seed)
+    edges = [(int(rng.integers(0, i)), i) for i in range(1, n)]
+    for _ in range(extra):
+        a, b = rng.integers(0, n, 2)
+        if a != b:
+            edges.append((int(a), int(b)))
+    return Network.from_edge_list(
+        [(i,) for i in range(n)], edges, name=f"rand({n},{extra},{seed})"
+    )
+
+
+class TestIORoundTripProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 30), st.integers(0, 40), st.integers(0, 10_000))
+    def test_roundtrip_preserves_structure(self, n, extra, seed):
+        import tempfile
+        from pathlib import Path
+
+        net = random_connected(n, extra, seed)
+        with tempfile.TemporaryDirectory() as tmp:
+            loaded = load_network(save_network(net, Path(tmp) / "net"))
+        assert loaded.labels == net.labels
+        assert loaded.num_edges() == net.num_edges()
+        a, b = net.adjacency_csr(), loaded.adjacency_csr()
+        assert (a != b).nnz == 0
+
+
+class TestSimulatorConservation:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 20), st.integers(0, 30), st.integers(0, 10_000))
+    def test_packets_conserved(self, n, extra, seed):
+        net = random_connected(n, extra, seed)
+        rng = np.random.default_rng(seed)
+        injections = uniform_random(net, 0.3, 20, rng)
+        stats = PacketSimulator(net).run(injections)
+        injected = sum(1 for _, s, d in injections if s != d)
+        assert stats.delivered + stats.undelivered == injected
+        assert stats.undelivered == 0  # no cutoff: everything drains
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 16), st.integers(0, 20), st.integers(0, 10_000))
+    def test_latency_at_least_distance(self, n, extra, seed):
+        """No packet beats the BFS distance under unit delays."""
+        from repro.metrics.distances import bfs_distances
+
+        net = random_connected(n, extra, seed)
+        rng = np.random.default_rng(seed + 1)
+        injections = uniform_random(net, 0.2, 10, rng)
+        sim = PacketSimulator(net)
+        stats = sim.run(injections)
+        # mean latency >= mean distance of the injected pairs
+        d = bfs_distances(net, np.arange(net.num_nodes))
+        if stats.delivered:
+            mean_dist = np.mean([d[dd, s] for _, s, dd in injections if s != dd])
+            assert stats.mean_latency >= mean_dist - 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 14), st.integers(0, 15), st.integers(0, 10_000))
+    def test_wormhole_never_faster_than_header_distance(self, n, extra, seed):
+        net = random_connected(n, extra, seed)
+        rng = np.random.default_rng(seed + 2)
+        injections = uniform_random(net, 0.2, 10, rng)
+        length = 4
+        stats = WormholeSimulator(net).run(injections, length=length)
+        if stats.delivered:
+            # tail latency >= hops + (length - 1)
+            assert stats.mean_latency >= stats.mean_hops + (length - 1) - 1e-9
+
+    def test_wormhole_vs_packet_light_load_ordering(self):
+        """For multi-hop transfers of the same payload, cut-through beats
+        store-and-forward, which beats nothing."""
+        from repro import networks as nw
+
+        q = nw.hypercube(4)
+        inj = [(0, 0, 15)]
+        worm = WormholeSimulator(q, delays=1).run(inj, length=16)
+        saf = PacketSimulator(q, delays=16).run(inj)  # whole payload per hop
+        assert worm.mean_latency < saf.mean_latency

@@ -1,0 +1,62 @@
+"""Tests for generic spectral module partitioning."""
+
+import numpy as np
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.metrics.partitioning import spectral_modules
+
+
+class TestSpectralModules:
+    def test_respects_cap(self):
+        for g, cap in [(nw.star_graph(5), 24), (nw.hypercube(6), 8), (nw.ring(30), 5)]:
+            ma = spectral_modules(g, cap)
+            assert ma.max_module_size <= cap
+            assert ma.module_of.shape == (g.num_nodes,)
+
+    def test_ring_split_is_contiguous_arcs(self):
+        """On a ring the Fiedler vector orders nodes around the cycle, so
+        the parts are arcs — the natural partition."""
+        r = nw.ring(16)
+        ma = spectral_modules(r, 4)
+        assert ma.num_modules == 4
+        assert ma.modules_internally_connected()
+        assert mt.intercluster_degree(ma) == pytest.approx(2 / 4)
+
+    def test_hypercube_split_near_subcube_quality(self):
+        """The hypercube Laplacian's second eigenvalue has multiplicity n,
+        so spectral bisection picks an arbitrary dimension mix; it still
+        lands within a small factor of the optimal subcube partition."""
+        q = nw.hypercube(5)
+        spec = spectral_modules(q, 8)
+        sub = mt.subcube_modules(q, 3)
+        off_spec = mt.offmodule_links_per_node(spec).mean()
+        off_sub = mt.offmodule_links_per_node(sub).mean()
+        assert off_sub <= off_spec <= 1.6 * off_sub
+
+    def test_intercluster_metrics_usable(self):
+        s = nw.star_graph(4)
+        ma = spectral_modules(s, 6)
+        ic = mt.intercluster_summary(ma)
+        assert ic.i_diameter >= 1
+        assert ic.i_degree > 0
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            spectral_modules(nw.ring(6), 0)
+
+    def test_single_module_when_cap_big(self):
+        g = nw.petersen()
+        ma = spectral_modules(g, 100)
+        assert ma.num_modules == 1
+
+    def test_fig3_measured_includes_star(self):
+        from repro.analysis import fig3_intercluster_measured
+
+        rows = fig3_intercluster_measured()
+        stars = [r for r in rows if r["network"].startswith("S")]
+        assert stars
+        # 4-substar modules on S5: I-degree = n - k = 1
+        s5 = next(r for r in stars if r["N"] == 120)
+        assert s5["I-degree"] == 1.0

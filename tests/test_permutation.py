@@ -1,0 +1,263 @@
+"""Unit and property tests for the permutation algebra."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permutation import (
+    Permutation,
+    all_permutations,
+    block_permutation,
+    cyclic_shift_left,
+    cyclic_shift_right,
+    from_cycles,
+    identity,
+    lift_to_block,
+    prefix_reversal,
+    random_permutation,
+    transposition,
+)
+
+
+def perms(max_k: int = 8):
+    return st.integers(2, max_k).flatmap(
+        lambda k: st.permutations(list(range(k))).map(Permutation)
+    )
+
+
+def two_perms_same_size(max_k: int = 8):
+    return st.integers(2, max_k).flatmap(
+        lambda k: st.tuples(
+            st.permutations(list(range(k))).map(Permutation),
+            st.permutations(list(range(k))).map(Permutation),
+        )
+    )
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = identity(5)
+        assert p.is_identity()
+        assert p.img == (0, 1, 2, 3, 4)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 0, 1])
+        with pytest.raises(ValueError):
+            Permutation([0, 2])
+        with pytest.raises(ValueError):
+            Permutation([-1, 0])
+
+    def test_transposition(self):
+        p = transposition(4, 1, 3)
+        assert p((10, 11, 12, 13)) == (10, 13, 12, 11)
+        assert p.is_involution()
+
+    def test_transposition_out_of_range(self):
+        with pytest.raises(ValueError):
+            transposition(3, 0, 3)
+
+    def test_cyclic_shift_left(self):
+        p = cyclic_shift_left(6, 3)
+        # matches the paper's generator "456123": y4 y5 y6 y1 y2 y3
+        assert p((1, 2, 3, 4, 5, 6)) == (4, 5, 6, 1, 2, 3)
+
+    def test_cyclic_shift_right(self):
+        p = cyclic_shift_right(5, 2)
+        assert p((0, 1, 2, 3, 4)) == (3, 4, 0, 1, 2)
+
+    def test_shift_left_right_inverse(self):
+        assert cyclic_shift_left(7, 3).inverse() == cyclic_shift_right(7, 3)
+
+    def test_prefix_reversal(self):
+        p = prefix_reversal(5, 3)
+        assert p((0, 1, 2, 3, 4)) == (2, 1, 0, 3, 4)
+
+    def test_prefix_reversal_full(self):
+        p = prefix_reversal(4, 4)
+        assert p((0, 1, 2, 3)) == (3, 2, 1, 0)
+
+    def test_prefix_reversal_range(self):
+        with pytest.raises(ValueError):
+            prefix_reversal(4, 5)
+        with pytest.raises(ValueError):
+            prefix_reversal(4, 0)
+
+    def test_from_cycles_paper_convention(self):
+        # (1;2) in the paper swaps positions 1 and 2 (1-based)
+        p = from_cycles(6, [(1, 2)], one_based=True)
+        assert p((1, 2, 3, 4, 5, 6)) == (2, 1, 3, 4, 5, 6)
+
+    def test_from_cycles_three_cycle(self):
+        p = from_cycles(5, [(0, 2, 4)])
+        # symbol at 0 moves to 2, at 2 to 4, at 4 to 0
+        lab = ("a", "b", "c", "d", "e")
+        out = p(lab)
+        assert out[2] == "a" and out[4] == "c" and out[0] == "e"
+        assert out[1] == "b" and out[3] == "d"
+
+    def test_from_cycles_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            from_cycles(5, [(0, 1), (1, 2)])
+
+    def test_from_cycles_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            from_cycles(3, [(0, 3)])
+
+    def test_block_permutation(self):
+        p = block_permutation((1, 0), 3)
+        assert p((1, 2, 3, 4, 5, 6)) == (4, 5, 6, 1, 2, 3)
+
+    def test_block_permutation_three_blocks(self):
+        p = block_permutation((2, 0, 1), 2)
+        assert p(("a", "b", "c", "d", "e", "f")) == ("e", "f", "a", "b", "c", "d")
+
+    def test_lift_to_block_leftmost(self):
+        p = lift_to_block(transposition(2, 0, 1), l=3, m=2, block=0)
+        assert p((1, 2, 3, 4, 5, 6)) == (2, 1, 3, 4, 5, 6)
+
+    def test_lift_to_block_middle(self):
+        p = lift_to_block(transposition(2, 0, 1), l=3, m=2, block=1)
+        assert p((1, 2, 3, 4, 5, 6)) == (1, 2, 4, 3, 5, 6)
+
+    def test_lift_size_mismatch(self):
+        with pytest.raises(ValueError):
+            lift_to_block(identity(3), l=2, m=2)
+
+    def test_random_permutation_reproducible(self):
+        a = random_permutation(10, np.random.default_rng(7))
+        b = random_permutation(10, np.random.default_rng(7))
+        assert a == b
+
+    def test_all_permutations_count(self):
+        assert len(list(all_permutations(4))) == 24
+
+
+class TestGroupLaws:
+    @given(two_perms_same_size())
+    def test_then_semantics(self, pq):
+        p, q = pq
+        label = tuple(range(100, 100 + p.size))
+        assert p.then(q)(label) == q(p(label))
+
+    @given(two_perms_same_size())
+    def test_mul_semantics(self, pq):
+        p, q = pq
+        label = tuple(range(p.size))
+        assert (p * q)(label) == p(q(label))
+
+    @given(perms())
+    def test_inverse(self, p):
+        label = tuple(range(p.size))
+        assert p.inverse()(p(label)) == label
+        assert p(p.inverse()(label)) == label
+
+    @given(perms())
+    def test_double_inverse(self, p):
+        assert p.inverse().inverse() == p
+
+    @given(perms())
+    def test_identity_neutral(self, p):
+        e = identity(p.size)
+        assert p.then(e) == p
+        assert e.then(p) == p
+
+    @given(st.integers(2, 7).flatmap(
+        lambda k: st.tuples(*[st.permutations(list(range(k))).map(Permutation)] * 3)
+    ))
+    def test_associativity(self, pqr):
+        p, q, r = pqr
+        assert p.then(q).then(r) == p.then(q.then(r))
+
+    @given(perms(), st.integers(0, 12))
+    def test_power(self, p, n):
+        expected = identity(p.size)
+        for _ in range(n):
+            expected = expected.then(p)
+        assert p**n == expected
+
+    @given(perms())
+    def test_negative_power(self, p):
+        assert p**-1 == p.inverse()
+        assert p**-2 == p.inverse().then(p.inverse())
+
+    @given(perms())
+    def test_order(self, p):
+        k = p.order()
+        assert (p**k).is_identity()
+        for d in range(1, k):
+            if k % d == 0 and d < k:
+                assert not (p**d).is_identity() or d == k
+
+    @given(two_perms_same_size())
+    def test_parity_multiplicative(self, pq):
+        p, q = pq
+        assert p.then(q).parity() == (p.parity() + q.parity()) % 2
+
+    @given(perms())
+    def test_cycles_roundtrip(self, p):
+        rebuilt = from_cycles(p.size, p.cycles())
+        assert rebuilt == p
+
+    @given(perms())
+    def test_support(self, p):
+        sup = p.support()
+        label = tuple(range(p.size))
+        moved = {i for i in range(p.size) if p(label)[i] != label[i]}
+        assert moved == sup
+
+    @given(perms())
+    def test_orbit_length_divides_order(self, p):
+        label = tuple(range(p.size))
+        orb = p.orbit(label)
+        assert p.order() % len(orb) == 0 or len(orb) == p.order()
+        assert orb[0] == label
+
+    def test_orbit_of_shift(self):
+        p = cyclic_shift_left(6, 2)
+        assert len(p.orbit(tuple(range(6)))) == 3
+
+    @given(perms())
+    def test_hashable_consistent(self, p):
+        q = Permutation(p.img)
+        assert hash(p) == hash(q)
+        assert p == q
+
+    def test_str_cycle_notation(self):
+        p = transposition(4, 0, 2)
+        assert str(p) == "(0 2)"
+        assert str(identity(3)) == "id[3]"
+
+    def test_involution_detection(self):
+        assert transposition(5, 1, 2).is_involution()
+        assert not cyclic_shift_left(5, 1).is_involution()
+
+    def test_call_length_mismatch(self):
+        with pytest.raises(ValueError):
+            identity(3)((1, 2))
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            identity(3).then(identity(4))
+
+
+class TestParityOrder:
+    def test_transposition_odd(self):
+        assert transposition(5, 0, 3).parity() == 1
+
+    def test_identity_even(self):
+        assert identity(6).parity() == 0
+
+    def test_three_cycle_even(self):
+        assert from_cycles(5, [(0, 1, 2)]).parity() == 0
+
+    def test_shift_order(self):
+        assert cyclic_shift_left(6, 2).order() == 3
+        assert cyclic_shift_left(6, 1).order() == 6
+
+    def test_lcm_order(self):
+        p = from_cycles(5, [(0, 1), (2, 3, 4)])
+        assert p.order() == math.lcm(2, 3)

@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on the model's core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ipgraph import build_ip_graph
+from repro.core.permutation import Permutation, transposition
+from repro.core.superip import (
+    SuperGeneratorSet,
+    build_super_ip_graph,
+    diameter_formula,
+    min_supergen_steps,
+    min_supergen_steps_symmetric,
+    reachable_arrangements,
+    super_ip_size,
+    symmetric_super_ip_size,
+)
+from repro.metrics.distances import bfs_distances, diameter
+from repro.networks.nuclei import complete_nucleus, hypercube_nucleus
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+def block_perm_sets(max_l: int = 5):
+    """Random super-generator sets: nontrivial block permutations that can
+    front every block (we ensure this by always including one transposition
+    chain or cycle)."""
+
+    def make(l, extra_imgs):
+        perms = [("L1", Permutation(tuple((i + 1) % l for i in range(l))))]
+        perms.append(("R1", perms[0][1].inverse()))
+        for k, img in enumerate(extra_imgs):
+            p = Permutation(img)
+            if not p.is_identity():
+                perms.append((f"x{k}", p))
+        return SuperGeneratorSet(name="random", l=l, block_perms=tuple(perms))
+
+    return st.integers(2, max_l).flatmap(
+        lambda l: st.lists(
+            st.permutations(list(range(l))), min_size=0, max_size=2
+        ).map(lambda extras: make(l, extras))
+    )
+
+
+def small_generator_sets(max_k: int = 5):
+    """Random involution-closed generator sets over k positions."""
+
+    def close(k, imgs):
+        perms = {Permutation(img) for img in imgs}
+        perms |= {p.inverse() for p in perms}
+        perms.discard(Permutation(range(k)))
+        if not perms:
+            perms = {transposition(k, 0, 1)}
+        return sorted(perms, key=lambda p: p.img)
+
+    return st.integers(2, max_k).flatmap(
+        lambda k: st.lists(
+            st.permutations(list(range(k))), min_size=1, max_size=3
+        ).map(lambda imgs: (k, close(k, imgs)))
+    )
+
+
+# ----------------------------------------------------------------------
+# IP-graph engine invariants
+# ----------------------------------------------------------------------
+class TestIPGraphProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(small_generator_sets())
+    def test_degree_bounded_by_generators(self, kg):
+        """Theorem 3.1 for arbitrary generator sets."""
+        k, gens = kg
+        g = build_ip_graph(tuple(range(k)), gens, max_nodes=50_000)
+        assert g.max_degree <= len(gens)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_generator_sets())
+    def test_cayley_graph_is_regular(self, kg):
+        """Distinct-symbol seeds give Cayley graphs: always regular."""
+        k, gens = kg
+        g = build_ip_graph(tuple(range(k)), gens, max_nodes=50_000)
+        assert g.is_regular()
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_generator_sets(4), st.integers(0, 100))
+    def test_seed_choice_preserves_graph(self, kg, pick):
+        """Any generated label used as seed regenerates the same node set."""
+        k, gens = kg
+        g = build_ip_graph(tuple(range(k)), gens, max_nodes=50_000)
+        node = pick % g.num_nodes
+        g2 = build_ip_graph(g.labels[node], gens, max_nodes=50_000)
+        assert set(g2.labels) == set(g.labels)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_generator_sets(4))
+    def test_repeated_symbols_shrink(self, kg):
+        """Merging two symbols can never grow the node count."""
+        k, gens = kg
+        distinct = build_ip_graph(tuple(range(k)), gens, max_nodes=50_000)
+        seed = (0,) * 2 + tuple(range(2, k))
+        merged = build_ip_graph(seed, gens, max_nodes=50_000)
+        assert merged.num_nodes <= distinct.num_nodes
+
+
+# ----------------------------------------------------------------------
+# super-IP invariants for random super-generator sets
+# ----------------------------------------------------------------------
+class TestSuperIPProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(block_perm_sets(4))
+    def test_t_bounds(self, sgs):
+        """l−1 ≤ t ≤ t_S for any valid super-generator set (the paper notes
+        t ≥ l−1 always)."""
+        t = min_supergen_steps(sgs)
+        ts = min_supergen_steps_symmetric(sgs)
+        assert sgs.l - 1 <= t <= ts
+
+    @settings(max_examples=25, deadline=None)
+    @given(block_perm_sets(4))
+    def test_arrangements_form_group(self, sgs):
+        """Reachable arrangements are closed under the generators and have
+        size dividing l! (Lagrange)."""
+        arrs = reachable_arrangements(sgs)
+        perms = sgs.perms()
+        for a in arrs:
+            for p in perms:
+                assert p(a) in arrs
+        assert math.factorial(sgs.l) % len(arrs) == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(block_perm_sets(3), st.sampled_from([2, 3]))
+    def test_size_theorem_any_supergens(self, sgs, m_pick):
+        """Theorem 3.2 (N = M^l) holds for arbitrary super-generator sets,
+        not just the paper's three families."""
+        nuc = complete_nucleus(m_pick)
+        g = build_super_ip_graph(nuc, sgs, max_nodes=200_000)
+        assert g.num_nodes == super_ip_size(nuc.size(), sgs.l)
+
+    @settings(max_examples=8, deadline=None)
+    @given(block_perm_sets(3))
+    def test_diameter_theorem_any_supergens(self, sgs):
+        """Theorem 4.1 upper bound holds for arbitrary super-generator sets
+        (equality is only guaranteed with the paper's preconditions, so we
+        assert ≤)."""
+        nuc = hypercube_nucleus(1)
+        g = build_super_ip_graph(nuc, sgs, max_nodes=100_000)
+        assert diameter(g) <= diameter_formula(nuc.diameter(), sgs)
+
+    @settings(max_examples=8, deadline=None)
+    @given(block_perm_sets(3))
+    def test_symmetric_size_any_supergens(self, sgs):
+        nuc = hypercube_nucleus(1)
+        g = build_super_ip_graph(nuc, sgs, symmetric=True, max_nodes=100_000)
+        assert g.num_nodes == symmetric_super_ip_size(nuc.size(), sgs)
+
+    @settings(max_examples=10, deadline=None)
+    @given(block_perm_sets(3))
+    def test_router_bound_any_supergens(self, sgs):
+        """The Theorem-4.1 router stays valid and bounded for arbitrary
+        super-generator sets."""
+        from repro.routing import SuperIPRouter, verify_route
+
+        nuc = hypercube_nucleus(1)
+        g = build_super_ip_graph(nuc, sgs, max_nodes=100_000)
+        r = SuperIPRouter(nuc, sgs)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            s, d = rng.integers(0, g.num_nodes, 2)
+            path = r.route_nodes(g, int(s), int(d))
+            assert verify_route(g, path)
+            assert len(path) - 1 <= r.max_route_length()
+
+
+# ----------------------------------------------------------------------
+# metric invariants
+# ----------------------------------------------------------------------
+class TestMetricProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(small_generator_sets(4))
+    def test_distance_symmetry(self, kg):
+        k, gens = kg
+        g = build_ip_graph(tuple(range(k)), gens, max_nodes=50_000)
+        if g.num_nodes > 200:
+            return
+        d = bfs_distances(g, np.arange(g.num_nodes))
+        assert (d == d.T).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_generator_sets(4))
+    def test_triangle_inequality(self, kg):
+        k, gens = kg
+        g = build_ip_graph(tuple(range(k)), gens, max_nodes=50_000)
+        if g.num_nodes > 120:
+            return
+        d = bfs_distances(g, np.arange(g.num_nodes)).astype(np.int64)
+        n = g.num_nodes
+        for a in range(0, n, max(1, n // 8)):
+            # d(a,b) <= d(a,c) + d(c,b) for all b,c
+            assert (d[a][None, :] <= d[a][:, None] + d).all()

@@ -1,0 +1,78 @@
+"""Tests for quotient networks (QCN)."""
+
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.networks.quotient import qcn, quotient_network
+
+
+class TestQuotientNetwork:
+    def test_hypercube_quotient_is_smaller_hypercube(self):
+        import networkx as nx
+
+        q = nw.hypercube(5)
+        quot = quotient_network(q, lambda lab: lab[:3])
+        assert quot.num_nodes == 8
+        assert quot.procs_per_node == 4
+        assert nx.is_isomorphic(quot.to_networkx(), nw.hypercube(3).to_networkx())
+
+    def test_loops_removed(self):
+        q = nw.hypercube(3)
+        quot = quotient_network(q, lambda lab: lab[:1])
+        # intra-group edges become loops and vanish from the simple graph
+        assert quot.num_nodes == 2
+        assert quot.num_edges() == 1
+
+    def test_non_uniform_rejected(self):
+        g = nw.path(5)
+        with pytest.raises(ValueError, match="uniform"):
+            quotient_network(g, lambda lab: 0 if lab[0] < 2 else 1)
+
+    def test_name(self):
+        q = quotient_network(nw.hypercube(4), lambda lab: lab[:2], name="custom")
+        assert q.name == "custom"
+
+
+class TestQCN:
+    def test_size(self):
+        q = qcn(2, 4, 2)
+        # base ring-CN(2, Q4) has 256 nodes; merging 2-subcubes of the
+        # front block gives 256/4 quotient nodes
+        assert q.num_nodes == 64
+        assert q.procs_per_node == 4
+
+    def test_connected(self):
+        assert mt.is_connected(qcn(2, 4, 2))
+
+    def test_diameter_shrinks(self):
+        base = nw.ring_cn_hypercube(2, 4)
+        q = qcn(2, 4, 2)
+        assert mt.diameter(q) < mt.diameter(base)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            qcn(2, 4, 0)
+        with pytest.raises(ValueError):
+            qcn(2, 4, 4)
+
+    def test_qcn_offmodule_traffic_comparable(self):
+        """Same 256-processor system built two ways: plain CN (256 routers)
+        vs QCN (64 routers × 4 processors).  At l = 2 both need at most one
+        off-module hop, so the per-processor average I-distance must agree
+        to within the pair-counting correction; the quotient's win is the
+        4× smaller router count at equal communication cost."""
+        base = nw.ring_cn_hypercube(2, 4)
+        ma_base = mt.nucleus_modules(base)
+        q = qcn(2, 4, 2)
+        # module = group of 4 quotient nodes sharing block 2 (16 procs)
+        ma_q = mt.modules_by_key(q, lambda lab: tuple(lab[1:]))
+        avg_base = mt.average_intercluster_distance(ma_base)
+        # correct the quotient's node-pair average to processor pairs
+        nq, p = q.num_nodes, q.procs_per_node
+        np_total = nq * p
+        avg_q_proc = mt.average_intercluster_distance(ma_q) * (
+            (nq * (nq - 1)) * p * p / (np_total * (np_total - 1))
+        )
+        assert avg_q_proc == pytest.approx(avg_base, rel=0.02)
+        assert mt.intercluster_diameter(ma_q) == mt.intercluster_diameter(ma_base)

@@ -1,0 +1,118 @@
+"""Tests for recursive hierarchical networks (RHSN, HSE, HHN)."""
+
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.core.superip import (
+    NucleusSpec,
+    SuperGeneratorSet,
+    build_super_ip_graph,
+    diameter_formula,
+)
+from repro.networks.recursive import compose_nucleus, hhn_like, hse, rhsn
+
+
+class TestComposeNucleus:
+    def test_composed_size(self):
+        inner = nw.hypercube_nucleus(1)  # M = 2
+        comp = compose_nucleus(inner, SuperGeneratorSet.transpositions(2))
+        assert comp.size() == 4  # M^l
+
+    def test_composed_diameter_matches_theorem(self):
+        inner = nw.hypercube_nucleus(1)
+        sgs = SuperGeneratorSet.transpositions(2)
+        comp = compose_nucleus(inner, sgs)
+        assert comp.diameter() == diameter_formula(inner.diameter(), sgs)
+
+    def test_composed_graph_isomorphic_to_direct_build(self):
+        import networkx as nx
+
+        inner = nw.hypercube_nucleus(1)
+        sgs = SuperGeneratorSet.transpositions(2)
+        comp = compose_nucleus(inner, sgs)
+        a = comp.build()
+        b = build_super_ip_graph(inner, sgs)
+        assert nx.is_isomorphic(a.to_networkx(), b.to_networkx())
+
+    def test_composition_is_reusable_as_nucleus(self):
+        inner = nw.hypercube_nucleus(1)
+        comp = compose_nucleus(inner, SuperGeneratorSet.ring(2))
+        g = build_super_ip_graph(comp, SuperGeneratorSet.transpositions(2))
+        assert g.num_nodes == (2**2) ** 2
+
+
+class TestRHSN:
+    def test_two_level_equals_hsn(self):
+        import networkx as nx
+
+        a = rhsn([2], nw.hypercube_nucleus(2))
+        b = nw.hsn_hypercube(2, 2)
+        assert nx.is_isomorphic(a.to_networkx(), b.to_networkx())
+
+    def test_three_level_size(self):
+        g = rhsn([2, 2], nw.hypercube_nucleus(1))
+        assert g.num_nodes == 16  # ((2^1)^2)^2
+
+    def test_three_level_diameter_corollary(self):
+        """Corollary 4.2 applies level by level: the outer diameter is
+        l·D_inner + (l−1), with D_inner itself following the formula."""
+        base = nw.hypercube_nucleus(1)
+        inner = compose_nucleus(base, SuperGeneratorSet.transpositions(2))
+        d_inner = inner.diameter()
+        assert d_inner == 2 * 1 + 1
+        g = rhsn([2, 2], base)
+        assert mt.diameter(g) == 2 * d_inner + 1
+
+    def test_deeper_recursion(self):
+        g = rhsn([2, 2, 2], nw.hypercube_nucleus(1))
+        assert g.num_nodes == 256
+        # diameter: level1 D=3, level2 D=7, level3 D=15 = 2*7+1
+        assert mt.diameter(g) == 15
+
+    def test_degree_grows_by_one_per_level(self):
+        """Each transposition level adds exactly l−1 = 1 generator, so the
+        RHSN stays low-degree — the family's selling point."""
+        base = nw.hypercube_nucleus(1)
+        g1 = rhsn([2], base)
+        g2 = rhsn([2, 2], base)
+        g3 = rhsn([2, 2, 2], base)
+        assert g1.max_degree == 2
+        assert g2.max_degree == 3
+        assert g3.max_degree == 4
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError):
+            rhsn([], nw.hypercube_nucleus(1))
+
+    def test_nucleus_modules_at_outer_level(self):
+        g = rhsn([2, 2], nw.hypercube_nucleus(1))
+        ma = mt.nucleus_modules(g)
+        assert ma.max_module_size == 4  # inner super-IP graph per module
+        assert mt.intercluster_diameter(ma) == 1
+
+
+class TestHSEAndHHN:
+    def test_hse_size(self):
+        g = hse(2, 2)
+        assert g.num_nodes == 16  # (2^2)^2
+
+    def test_hse_diameter_formula(self):
+        nuc = nw.shuffle_exchange_nucleus(2)
+        g = hse(2, 2)
+        assert mt.diameter(g) == diameter_formula(
+            nuc.diameter(), SuperGeneratorSet.ring(2)
+        )
+
+    def test_hse_low_degree(self):
+        g = hse(2, 3)
+        # SE degree <= 3, plus one shift super-generator
+        assert g.max_degree <= 4
+
+    def test_hhn_like_size(self):
+        g = hhn_like(2, 1)
+        assert g.num_nodes == ((2**1) ** 2) ** 2
+
+    def test_hhn_like_diameter(self):
+        g = hhn_like(2, 1)
+        assert mt.diameter(g) == 2 * 3 + 1

@@ -1,0 +1,127 @@
+"""Tests for the network registry and fault-tolerance metrics."""
+
+import numpy as np
+import pytest
+
+from repro import networks as nw
+from repro.metrics import (
+    edge_connectivity,
+    is_maximally_fault_tolerant,
+    node_connectivity,
+    random_fault_experiment,
+)
+from repro.networks import REGISTRY, available, build
+
+
+class TestRegistry:
+    def test_available_sorted(self):
+        names = available()
+        assert names == sorted(names)
+        assert len(names) >= 30
+
+    @pytest.mark.parametrize(
+        "name,params,expected_n",
+        [
+            ("ring", {"n": 8}, 8),
+            ("hypercube", {"n": 4}, 16),
+            ("hsn", {"l": 2, "n": 2}, 16),
+            ("ring_cn", {"l": 3, "n": 1}, 8),
+            ("complete_cn", {"l": 2, "n": 2}, 16),
+            ("super_flip", {"l": 2, "n": 2}, 16),
+            ("hcn", {"n": 2}, 16),
+            ("star", {"n": 4}, 24),
+            ("ccc", {"n": 3}, 24),
+            ("qcn", {"l": 2, "n": 4, "merge_bits": 2}, 64),
+            ("cyclic_petersen", {"l": 2}, 100),
+            ("debruijn", {"d": 2, "n": 3}, 8),
+        ],
+    )
+    def test_build(self, name, params, expected_n):
+        g = build(name, **params)
+        assert g.num_nodes == expected_n
+
+    def test_symmetric_flag(self):
+        g = build("hsn", l=2, n=2, symmetric=True)
+        assert g.num_nodes == 32
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            build("not-a-network")
+
+    def test_every_registered_name_is_callable(self):
+        for name, factory in REGISTRY.items():
+            assert callable(factory), name
+
+
+class TestConnectivity:
+    def test_hypercube_maximally_fault_tolerant(self):
+        q = nw.hypercube(4)
+        assert node_connectivity(q) == 4
+        assert edge_connectivity(q) == 4
+        assert is_maximally_fault_tolerant(q)
+
+    def test_star_graph(self):
+        s = nw.star_graph(4)
+        assert node_connectivity(s) == 3  # n - 1
+        assert is_maximally_fault_tolerant(s)
+
+    def test_symmetric_hsn_maximally_fault_tolerant(self):
+        g = nw.symmetric_hsn(2, nw.hypercube_nucleus(2))
+        assert is_maximally_fault_tolerant(g)
+
+    def test_plain_hsn_connectivity_limited_by_min_degree(self):
+        g = nw.hsn_hypercube(2, 2)
+        k = node_connectivity(g)
+        assert k <= g.min_degree
+        assert k >= 1
+
+    def test_ring(self):
+        assert node_connectivity(nw.ring(8)) == 2
+
+    def test_petersen(self):
+        assert node_connectivity(nw.petersen()) == 3
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            node_connectivity(nw.hypercube(4), limit=5)
+
+
+class TestFaultExperiment:
+    def test_no_faults_like_connected(self):
+        rng = np.random.default_rng(0)
+        rep = random_fault_experiment(nw.hypercube(4), faults=1, trials=5, rng=rng)
+        # Q4 is 4-connected: one fault can never disconnect it
+        assert rep.connected_fraction == 1.0
+        assert rep.mean_largest_component == 15
+
+    def test_ring_fragile(self):
+        rng = np.random.default_rng(1)
+        rep = random_fault_experiment(nw.ring(12), faults=2, trials=20, rng=rng)
+        # two faults almost surely split a ring (unless adjacent)
+        assert rep.connected_fraction < 1.0
+
+    def test_diameter_degrades_gracefully(self):
+        rng = np.random.default_rng(2)
+        rep = random_fault_experiment(nw.hypercube(4), faults=2, trials=10, rng=rng)
+        assert rep.mean_surviving_diameter >= 4  # can only grow
+        assert rep.mean_surviving_diameter <= 8
+
+    def test_too_many_faults(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            random_fault_experiment(nw.ring(5), faults=5, trials=1, rng=rng)
+
+    def test_repr(self):
+        rng = np.random.default_rng(4)
+        rep = random_fault_experiment(nw.ring(8), faults=1, trials=3, rng=rng)
+        assert "FaultReport" in repr(rep)
+
+    def test_symmetric_superip_beats_ring_under_faults(self):
+        """Vertex-symmetric super-IP graphs degrade gracefully: same fault
+        count, higher connected fraction than a ring of equal size."""
+        g = nw.symmetric_hsn(2, nw.hypercube_nucleus(2))  # 32 nodes, 3-regular
+        r = nw.ring(32)
+        rng1, rng2 = np.random.default_rng(5), np.random.default_rng(5)
+        rep_g = random_fault_experiment(g, faults=2, trials=25, rng=rng1)
+        rep_r = random_fault_experiment(r, faults=2, trials=25, rng=rng2)
+        assert rep_g.connected_fraction > rep_r.connected_fraction

@@ -1,0 +1,241 @@
+"""Tests for all routers: Theorem-4.1 sorter, family routers, BFS tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import networks as nw
+from repro.core.superip import SuperGeneratorSet, build_super_ip_graph
+from repro.metrics.distances import bfs_distances, single_source_distances
+from repro.routing import (
+    NextHopTable,
+    SuperIPRouter,
+    debruijn_route,
+    ecube_route,
+    shortest_path,
+    star_route,
+    star_route_length_bound,
+    verify_route,
+)
+
+FAMILIES = {
+    "transpositions": SuperGeneratorSet.transpositions,
+    "ring": SuperGeneratorSet.ring,
+    "complete": SuperGeneratorSet.complete_shifts,
+    "flips": SuperGeneratorSet.flips,
+}
+
+
+class TestSuperIPRouter:
+    @pytest.mark.parametrize("fam", list(FAMILIES))
+    @pytest.mark.parametrize("sym", [False, True])
+    def test_all_pairs_valid_and_bounded(self, fam, sym):
+        nuc = nw.hypercube_nucleus(1)
+        sgs = FAMILIES[fam](3)
+        g = build_super_ip_graph(nuc, sgs, symmetric=sym)
+        r = SuperIPRouter(nuc, sgs, symmetric=sym)
+        bound = r.max_route_length()
+        for s in range(g.num_nodes):
+            for d in range(g.num_nodes):
+                path = r.route_nodes(g, s, d)
+                assert path[0] == s and path[-1] == d
+                assert verify_route(g, path)
+                assert len(path) - 1 <= bound
+
+    def test_bound_attained_somewhere(self):
+        """Theorem 4.1 is exact: some pair needs the full l·D_G + t."""
+        nuc = nw.hypercube_nucleus(2)
+        sgs = SuperGeneratorSet.transpositions(2)
+        g = build_super_ip_graph(nuc, sgs)
+        d = bfs_distances(g, np.arange(g.num_nodes))
+        r = SuperIPRouter(nuc, sgs)
+        assert d.max() == r.max_route_length()
+
+    def test_route_matches_bfs_for_worst_pair(self):
+        nuc = nw.hypercube_nucleus(2)
+        sgs = SuperGeneratorSet.transpositions(2)
+        g = build_super_ip_graph(nuc, sgs)
+        r = SuperIPRouter(nuc, sgs)
+        d = bfs_distances(g, [0])[0]
+        far = int(np.argmax(d))
+        path = r.route_nodes(g, 0, far)
+        assert len(path) - 1 == d[far]  # router is optimal at the diameter
+
+    def test_trivial_route(self):
+        nuc = nw.hypercube_nucleus(1)
+        sgs = SuperGeneratorSet.transpositions(2)
+        r = SuperIPRouter(nuc, sgs)
+        g = build_super_ip_graph(nuc, sgs)
+        assert r.route_nodes(g, 3, 3) == [3]
+
+    def test_star_nucleus_router(self):
+        nuc = nw.star_nucleus(3)
+        sgs = SuperGeneratorSet.ring(2)
+        g = build_super_ip_graph(nuc, sgs)
+        r = SuperIPRouter(nuc, sgs)
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            s, d = rng.integers(0, g.num_nodes, 2)
+            path = r.route_nodes(g, int(s), int(d))
+            assert verify_route(g, path)
+            assert len(path) - 1 <= r.max_route_length()
+
+    def test_symmetric_router_colors(self):
+        nuc = nw.hypercube_nucleus(2)
+        sgs = SuperGeneratorSet.transpositions(3)
+        g = build_super_ip_graph(nuc, sgs, symmetric=True)
+        r = SuperIPRouter(nuc, sgs, symmetric=True)
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            s, d = rng.integers(0, g.num_nodes, 2)
+            path = r.route_nodes(g, int(s), int(d))
+            assert verify_route(g, path)
+            assert path[-1] == d
+
+    def test_route_labels_direct(self):
+        nuc = nw.hypercube_nucleus(1)
+        sgs = SuperGeneratorSet.transpositions(2)
+        r = SuperIPRouter(nuc, sgs)
+        src = (0, 1, 0, 1)
+        dst = (1, 0, 1, 0)
+        path = r.route_labels(src, dst)
+        assert path[0] == src and path[-1] == dst
+
+
+class TestFamilyRouters:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 6), st.integers(0, 1000), st.integers(0, 1000))
+    def test_ecube_optimal(self, n, a, b):
+        a %= 1 << n
+        b %= 1 << n
+        la = tuple((a >> (n - 1 - i)) & 1 for i in range(n))
+        lb = tuple((b >> (n - 1 - i)) & 1 for i in range(n))
+        path = ecube_route(la, lb)
+        assert path[0] == la and path[-1] == lb
+        assert len(path) - 1 == bin(a ^ b).count("1")
+        for u, v in zip(path, path[1:]):
+            assert sum(x != y for x, y in zip(u, v)) == 1
+
+    def test_ecube_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ecube_route((0, 1), (0, 1, 0))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.permutations(list(range(5))), st.permutations(list(range(5))))
+    def test_star_route_valid_and_bounded(self, src, dst):
+        src, dst = tuple(src), tuple(dst)
+        path = star_route(src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) - 1 <= star_route_length_bound(5)
+        # every hop is a star-generator move (swap position 0 with some i)
+        for u, v in zip(path, path[1:]):
+            diff = [i for i in range(5) if u[i] != v[i]]
+            assert len(diff) == 2 and 0 in diff
+            i = [d for d in diff if d != 0][0]
+            assert u[0] == v[i] and u[i] == v[0]
+
+    def test_star_route_against_bfs(self):
+        g = nw.star_graph(4)
+        d = single_source_distances(g, g.node_of(tuple(range(4))))
+        # greedy routing is within the diameter bound but not always optimal;
+        # check against the known bound and a couple of optimal cases
+        for node, lab in enumerate(g.labels):
+            path = star_route(lab, tuple(range(4)))
+            assert len(path) - 1 >= d[node]  # can't beat BFS
+            assert len(path) - 1 <= star_route_length_bound(4)
+
+    def test_star_route_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            star_route((0, 1, 2), (0, 1, 3))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 5), st.integers(0, 500), st.integers(0, 500))
+    def test_debruijn_route(self, n, a, b):
+        la = tuple((a >> i) & 1 for i in range(n))
+        lb = tuple((b >> i) & 1 for i in range(n))
+        path = debruijn_route(la, lb)
+        assert path[0] == la and path[-1] == lb
+        assert len(path) - 1 <= n
+        for u, v in zip(path, path[1:]):
+            assert v[:-1] == u[1:]  # shift edge
+
+    def test_debruijn_overlap_shortcut(self):
+        # src suffix == dst prefix: route uses the overlap
+        path = debruijn_route((0, 1, 1), (1, 1, 0))
+        assert len(path) - 1 == 1
+
+
+class TestTableRouting:
+    def test_shortest_path_endpoints(self):
+        g = nw.hypercube(4)
+        p = shortest_path(g, 0, 15)
+        assert p[0] == 0 and p[-1] == 15
+        assert len(p) - 1 == 4
+
+    def test_shortest_path_trivial(self):
+        g = nw.ring(5)
+        assert shortest_path(g, 2, 2) == [2]
+
+    def test_shortest_path_disconnected(self):
+        from repro.core.network import Network
+
+        net = Network([(0,), (1,)], [], [])
+        with pytest.raises(ValueError):
+            shortest_path(net, 0, 1)
+
+    def test_next_hop_table_paths_are_shortest(self):
+        g = nw.cube_connected_cycles(3)
+        table = NextHopTable(g)
+        d = bfs_distances(g, np.arange(g.num_nodes))
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            s, t = rng.integers(0, g.num_nodes, 2)
+            p = table.path(int(s), int(t))
+            assert len(p) - 1 == d[t, s]
+
+    def test_next_hop_self(self):
+        g = nw.ring(6)
+        table = NextHopTable(g)
+        assert table.next_hop(3, 3) == 3
+
+    def test_table_rejects_disconnected(self):
+        from repro.core.network import Network
+
+        net = Network.from_edge_list([(i,) for i in range(4)], [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            NextHopTable(net)
+
+
+class TestDirectedCNRouting:
+    def test_directed_ring_cn_router(self):
+        """The sorting router also serves directed CNs: only the forward
+        shift exists, and every route respects arc directions."""
+        import numpy as np
+
+        from repro import networks as nw
+        from repro.core.superip import build_super_ip_graph
+
+        nuc = nw.hypercube_nucleus(1)
+        sgs = SuperGeneratorSet.directed_ring(3)
+        g = build_super_ip_graph(nuc, sgs, directed=True)
+        r = SuperIPRouter(nuc, sgs)
+        csr = g.adjacency_csr()  # directed
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            s, d = rng.integers(0, g.num_nodes, 2)
+            path = r.route_nodes(g, int(s), int(d))
+            for u, v in zip(path, path[1:]):
+                assert v in csr.indices[csr.indptr[u] : csr.indptr[u + 1]]
+            assert len(path) - 1 <= r.max_route_length()
+
+    def test_directed_diameter_formula(self):
+        from repro import metrics as mt
+        from repro import networks as nw
+        from repro.core.superip import diameter_formula
+        from repro.metrics.distances import eccentricities
+
+        nuc = nw.hypercube_nucleus(1)
+        g = nw.directed_cn(3, nuc)
+        d = int(eccentricities(g).max())
+        assert d == diameter_formula(nuc.diameter(), SuperGeneratorSet.directed_ring(3))

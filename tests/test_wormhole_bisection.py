@@ -1,0 +1,173 @@
+"""Tests for the cut-through simulator and bisection metrics."""
+
+import numpy as np
+import pytest
+
+from repro import metrics as mt
+from repro import networks as nw
+from repro.metrics.bisection import (
+    constant_bisection_latency_score,
+    exact_bisection_width,
+    fiedler_bisection,
+    known_bisection_width,
+)
+from repro.sim import uniform_random, unit_offmodule_capacity
+from repro.sim.wormhole import WormholeSimulator
+
+
+class TestWormholeBasics:
+    def test_single_message_pipelined_latency(self):
+        """Light load on a uniform path: latency = hops·d + (L−1)·d —
+        pipelining, not store-and-forward."""
+        p = nw.path(5)
+        sim = WormholeSimulator(p, delays=1)
+        stats = sim.run([(0, 0, 4)], length=8)
+        assert stats.delivered == 1
+        # header: 4 cycles; tail: 4 + 7 more flit cycles
+        assert stats.mean_latency == 4 + 7
+
+    def test_store_and_forward_would_be_slower(self):
+        """The same transfer store-and-forward costs hops·L·d."""
+        from repro.sim import PacketSimulator
+
+        p = nw.path(5)
+        worm = WormholeSimulator(p, delays=1).run([(0, 0, 4)], length=8)
+        # a store-and-forward 'packet' of service time 8 per channel
+        saf = PacketSimulator(p, delays=8).run([(0, 0, 4)])
+        assert worm.mean_latency < saf.mean_latency
+        assert saf.mean_latency == 4 * 8
+
+    def test_length_one_equals_packet(self):
+        from repro.sim import PacketSimulator
+
+        q = nw.hypercube(3)
+        a = WormholeSimulator(q, delays=2).run([(0, 0, 7)], length=1)
+        b = PacketSimulator(q, delays=2).run([(0, 0, 7)])
+        assert a.mean_latency == b.mean_latency
+
+    def test_slow_channel_throttles_stream(self):
+        """A slow middle channel dominates the serialization term."""
+        p = nw.path(3)
+        delays = np.array([1, 10, 10, 1], dtype=np.int64)
+        # arcs in CSR order for path(3): (0->1), (1->0), (1->2), (2->1)
+        sim = WormholeSimulator(p, delays=delays)
+        stats = sim.run([(0, 0, 2)], length=4)
+        # slowest channel (d=10) serializes: >= 4*10 cycles total
+        assert stats.mean_latency >= 40
+
+    def test_channel_contention(self):
+        p = nw.path(2)
+        sim = WormholeSimulator(p, delays=1)
+        stats = sim.run([(0, 0, 1), (0, 0, 1)], length=4)
+        assert stats.delivered == 2
+        assert stats.max_latency == 8  # second message waits for the first
+
+    def test_validation(self):
+        p = nw.path(3)
+        with pytest.raises(ValueError):
+            WormholeSimulator(p, delays=0)
+        with pytest.raises(ValueError):
+            WormholeSimulator(p).run([(0, 0, 2)], length=0)
+
+    def test_max_cycles(self):
+        r = nw.ring(10)
+        stats = WormholeSimulator(r, delays=5).run([(0, 0, 5)], length=4, max_cycles=3)
+        assert stats.undelivered == 1
+
+
+class TestWormholeICDegreeClaim:
+    def test_long_messages_track_i_degree(self):
+        """'when wormhole or cut-through routing is used and messages are
+        long, the delay ... is approximately proportional to its
+        inter-cluster degree': with per-node off-module capacity fixed, the
+        off-module serialization term scales with the I-degree."""
+        rng_seed = 3
+        results = {}
+        for g, cluster in [
+            (nw.hypercube(6), lambda g: mt.subcube_modules(g, 3)),  # I-deg 3
+            (nw.hsn_hypercube(2, 3), mt.nucleus_modules),           # I-deg ~0.9
+        ]:
+            ma = cluster(g)
+            delays = unit_offmodule_capacity(g, ma, off_scale=4)
+            sim = WormholeSimulator(g, delays=delays, module_of=ma.module_of)
+            rng = np.random.default_rng(rng_seed)
+            stats = sim.run(uniform_random(g, 0.005, 400, rng), length=32)
+            results[g.name] = stats.mean_latency
+        assert results["HSN(2,Q3)"] < results["Q6"]
+        # the gap should be large-ish for long messages (I-degree 3 vs ~1)
+        assert results["Q6"] / results["HSN(2,Q3)"] > 1.5
+
+
+class TestBisection:
+    def test_exact_ring(self):
+        assert exact_bisection_width(nw.ring(8)) == 2
+
+    def test_exact_hypercube(self):
+        assert exact_bisection_width(nw.hypercube(3)) == 4
+        assert exact_bisection_width(nw.hypercube(4)) == 8
+
+    def test_exact_complete(self):
+        assert exact_bisection_width(nw.complete_graph(6)) == 9
+
+    def test_exact_path(self):
+        assert exact_bisection_width(nw.path(6)) == 1
+
+    def test_exact_matches_known(self):
+        assert exact_bisection_width(nw.hypercube(4)) == known_bisection_width(
+            "hypercube", n=4
+        )
+        assert exact_bisection_width(nw.ring(10)) == known_bisection_width("ring", n=10)
+
+    def test_exact_limit(self):
+        with pytest.raises(ValueError):
+            exact_bisection_width(nw.hypercube(6))
+
+    def test_fiedler_upper_bound(self):
+        for g in (nw.ring(12), nw.hypercube(4), nw.torus([4, 4])):
+            fb, side = fiedler_bisection(g)
+            assert side.sum() == g.num_nodes // 2
+            assert fb >= exact_bisection_width(g) if g.num_nodes <= 20 else True
+
+    def test_fiedler_tight_on_ring(self):
+        fb, _ = fiedler_bisection(nw.ring(16))
+        assert fb == 2
+
+    def test_fiedler_hypercube(self):
+        fb, _ = fiedler_bisection(nw.hypercube(5))
+        assert fb >= 16  # true bisection
+        assert fb <= 32  # and not absurdly loose
+
+    def test_known_formulas(self):
+        assert known_bisection_width("torus2d", k=8) == 16
+        assert known_bisection_width("ccc", n=4) == 8
+        with pytest.raises(KeyError):
+            known_bisection_width("nope")
+        with pytest.raises(ValueError):
+            known_bisection_width("torus2d", k=5)
+
+
+class TestSection51Tradeoff:
+    def test_constant_bisection_favors_torus(self):
+        """§5.1: under constant bisection bandwidth, the low-dimensional
+        torus beats both the hypercube and the hierarchical networks."""
+        torus_score = constant_bisection_latency_score(
+            16, known_bisection_width("torus2d", k=16)
+        )
+        cube_score = constant_bisection_latency_score(
+            8, known_bisection_width("hypercube", n=8)
+        )
+        # HSN(2,Q4): diameter 9; bisection upper bound from Fiedler split
+        hsn = nw.hsn_hypercube(2, 4)
+        fb, _ = fiedler_bisection(hsn)
+        hsn_score = constant_bisection_latency_score(9, fb)
+        assert torus_score < cube_score
+        assert torus_score < hsn_score
+
+    def test_constant_pinout_favors_superip(self):
+        """...while under constant pin-out (ID-cost) the super-IP graphs
+        win (Figure 4)."""
+        from repro.analysis.formulas import hsn_point, torus_point
+
+        t = torus_point(16, 2, module_side=4)
+        h = hsn_point(2, 16, 4, 4, "Q4")
+        assert h.id_cost < t.id_cost
