@@ -1,0 +1,191 @@
+"""Disabled-path overhead of the observability layer (<2% budget).
+
+Compares the instrumented :func:`repro.core.fastclosure.build_ip_graph_fast`
+(with :mod:`repro.obs` disabled, the default) against a verbatim copy of the
+pre-instrumentation closure kept below as the baseline.  Asserts the
+median of paired instrumented/baseline ratios stays under 2% — the
+guarantee DESIGN.md makes for benchmark neutrality.
+
+Run directly (exits non-zero on regression)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro.core.fastclosure import _encode_seed, _void_view, build_ip_graph_fast
+from repro.core.ipgraph import Generator, IPGraph
+from repro.core.permutation import transposition
+
+THRESHOLD = 0.02
+ROUNDS = 11
+STAR_K = 8  # 8! = 40320 nodes — big enough that one build takes ~0.1 s
+
+
+def _baseline_build(seed, generators):
+    """The fast closure exactly as it was before instrumentation, graph
+    assembly included, so both sides of the comparison do identical work."""
+    gens = [g if isinstance(g, Generator) else Generator(g) for g in generators]
+    k = gens[0].perm.size
+    seed_t = tuple(seed)
+    seed_row, alphabet = _encode_seed(seed_t)
+    gen_imgs = [np.asarray(g.perm.img, dtype=np.int64) for g in gens]
+    ngen = len(gens)
+
+    rows_blocks = [seed_row[None, :]]
+    known_keys = _void_view(seed_row[None, :]).copy()
+    known_ids = np.array([0], dtype=np.int64)
+    total = 1
+    arc_src, arc_dst, arc_gen = [], [], []
+    frontier = seed_row[None, :]
+    frontier_ids = np.array([0], dtype=np.int64)
+    while len(frontier):
+        f = len(frontier)
+        src_ids = frontier_ids
+        stacked = np.empty((f * ngen, k), dtype=frontier.dtype)
+        for gi, img in enumerate(gen_imgs):
+            stacked[gi::ngen] = frontier[:, img]
+        keys = _void_view(stacked)
+        pos = np.searchsorted(known_keys, keys)
+        pos_c = np.minimum(pos, len(known_keys) - 1)
+        hit = known_keys[pos_c] == keys
+        dst = np.empty(f * ngen, dtype=np.int64)
+        dst[hit] = known_ids[pos_c[hit]]
+        miss_idx = np.nonzero(~hit)[0]
+        if len(miss_idx):
+            miss_keys = keys[miss_idx]
+            uniq, first, inv = np.unique(
+                miss_keys, return_index=True, return_inverse=True
+            )
+            order = np.argsort(first, kind="stable")
+            rank = np.empty(len(uniq), dtype=np.int64)
+            rank[order] = np.arange(len(uniq))
+            new_ids = total + rank
+            dst[miss_idx] = new_ids[inv]
+            new_rows = stacked[miss_idx[first[order]]]
+            rows_blocks.append(new_rows)
+            merged_keys = np.concatenate([known_keys, uniq])
+            merged_ids = np.concatenate([known_ids, new_ids])
+            sort = np.argsort(merged_keys, kind="stable")
+            known_keys = merged_keys[sort]
+            known_ids = merged_ids[sort]
+            old_total = total
+            total += len(uniq)
+            frontier = new_rows
+            frontier_ids = np.arange(old_total, total, dtype=np.int64)
+        else:
+            frontier = frontier[:0]
+        arc_src.append(np.repeat(src_ids, ngen))
+        arc_dst.append(dst)
+        arc_gen.append(np.tile(np.arange(ngen, dtype=np.int64), f))
+    mat = np.concatenate(rows_blocks, axis=0)
+    if alphabet == list(range(len(alphabet))):
+        labels = list(map(tuple, mat.tolist()))
+    else:
+        amap = np.array(alphabet, dtype=object)
+        labels = list(map(tuple, amap[mat].tolist()))
+    edges = np.column_stack(
+        [np.concatenate(arc_src), np.concatenate(arc_dst), np.concatenate(arc_gen)]
+    )
+    return IPGraph(labels, gens, edges, seed=seed_t)
+
+
+def _time_once(fn) -> float:
+    gc.collect()
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _paired_overhead(fn_base, fn_inst, rounds: int = ROUNDS):
+    """Median of per-round instrumented/baseline ratios.
+
+    Within a round the two builds run back to back (order alternating to
+    cancel ordering bias), so slow drift — CPU frequency, cache/NUMA state,
+    noisy neighbours — hits both sides of each ratio equally; the median
+    then discards one-off spikes.  GC is off during timing and collected
+    between samples so allocation debt from one build never bills the next.
+    """
+    ratios, base_times, inst_times = [], [], []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for i in range(rounds):
+            if i % 2 == 0:
+                b = _time_once(fn_base)
+                t = _time_once(fn_inst)
+            else:
+                t = _time_once(fn_inst)
+                b = _time_once(fn_base)
+            base_times.append(b)
+            inst_times.append(t)
+            ratios.append(t / b)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+    return statistics.median(ratios), min(base_times), min(inst_times)
+
+
+def measure(rounds: int = ROUNDS) -> dict:
+    from repro import obs
+
+    assert not obs.enabled(), "overhead must be measured with obs disabled"
+    seed = tuple(range(STAR_K))
+    gens = [transposition(STAR_K, 0, i) for i in range(1, STAR_K)]
+
+    # sanity: both paths build the same graph
+    g = build_ip_graph_fast(seed, gens)
+    b = _baseline_build(seed, gens)
+    nodes = b.num_nodes
+    assert g.num_nodes == nodes
+    assert g.labels == b.labels
+    assert (g.edges_src == b.edges_src).all()
+    assert (g.edges_dst == b.edges_dst).all()
+
+    # warm-up both paths, then measure in pairs
+    _baseline_build(seed, gens)
+    build_ip_graph_fast(seed, gens)
+    ratio, base, inst = _paired_overhead(
+        lambda: _baseline_build(seed, gens),
+        lambda: build_ip_graph_fast(seed, gens),
+        rounds,
+    )
+    overhead = ratio - 1.0
+    return {
+        "nodes": nodes,
+        "baseline_s": base,
+        "instrumented_s": inst,
+        "overhead": overhead,
+    }
+
+
+def main() -> int:
+    # a shared box can still throw a >2% outlier median; a real regression
+    # fails every attempt, noise doesn't — so require 3 consecutive misses
+    for attempt in range(1, 4):
+        r = measure()
+        print(
+            f"fast closure, star S{STAR_K} ({r['nodes']} nodes), "
+            f"median of {ROUNDS} paired ratios (attempt {attempt}):\n"
+            f"  pre-instrumentation baseline  {r['baseline_s'] * 1e3:8.2f} ms (best)\n"
+            f"  instrumented (obs disabled)   {r['instrumented_s'] * 1e3:8.2f} ms (best)\n"
+            f"  overhead (median ratio)       {r['overhead'] * 100:+8.2f} %"
+        )
+        if r["overhead"] < THRESHOLD:
+            print(f"OK: under the {THRESHOLD:.0%} budget")
+            return 0
+        print("over budget, retrying...", file=sys.stderr)
+    print(f"FAIL: disabled-path overhead exceeds {THRESHOLD:.0%}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

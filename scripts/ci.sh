@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full CI gate: tier-1 test suite + observability overhead budget.
+#
+# Usage:  scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== observability disabled-path overhead budget (<2%) =="
+python benchmarks/bench_obs_overhead.py
+
+echo
+echo "CI OK"

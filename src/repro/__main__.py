@@ -6,6 +6,10 @@ Usage::
     python -m repro info hsn --param l=2 --param n=3 [--modules nucleus]
     python -m repro figure 2|3|4|5|53
     python -m repro summary --size 256
+
+``info``, ``figure`` and ``summary`` accept ``--profile`` (print a
+timing/counter table after the command) and ``--trace FILE`` (write the
+JSONL span trace of the run); see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -110,29 +114,68 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
 
+    profiled = argparse.ArgumentParser(add_help=False)
+    profiled.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a timing/counter table after the command",
+    )
+    profiled.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL trace of spans/events to FILE",
+    )
+
     sub.add_parser("list", help="list registered network families")
 
-    p_info = sub.add_parser("info", help="build a network and print its metrics")
+    p_info = sub.add_parser(
+        "info", help="build a network and print its metrics", parents=[profiled]
+    )
     p_info.add_argument("network", help="registry name (see `repro list`)")
     p_info.add_argument("--param", action="append", default=[], metavar="K=V")
     p_info.add_argument("--modules", choices=["none", "nucleus"], default="nucleus")
     p_info.add_argument("--max-metric-nodes", type=int, default=20000)
 
-    p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    p_fig = sub.add_parser(
+        "figure", help="regenerate a paper figure/table", parents=[profiled]
+    )
     p_fig.add_argument("id", help="2, 3, 4, 5 or 53 (Section 5.3 table)")
     p_fig.add_argument("--max-log2", type=int, default=20)
 
-    p_sum = sub.add_parser("summary", help="grand comparison of every family")
+    p_sum = sub.add_parser(
+        "summary", help="grand comparison of every family", parents=[profiled]
+    )
     p_sum.add_argument("--size", type=int, default=256)
     p_sum.add_argument("--module-cap", type=int, default=16)
 
     args = parser.parse_args(argv)
-    return {
+    cmd = {
         "list": cmd_list,
         "info": cmd_info,
         "figure": cmd_figure,
         "summary": cmd_summary,
-    }[args.cmd](args)
+    }[args.cmd]
+
+    profile = getattr(args, "profile", False)
+    trace = getattr(args, "trace", None)
+    if not (profile or trace):
+        return cmd(args)
+
+    from repro import obs
+
+    obs.reset()
+    obs.enable(trace=trace)
+    try:
+        rc = cmd(args)
+        if profile:
+            print()
+            print(obs.format_report())
+        if trace:
+            print(f"trace written to {trace}")
+    finally:
+        obs.disable()
+    return rc
 
 
 if __name__ == "__main__":

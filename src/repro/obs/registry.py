@@ -1,0 +1,208 @@
+"""Process-wide metrics registry: counters, gauges, and timer/histogram
+summaries.
+
+The registry is deliberately simple — plain dicts of python scalars — so a
+snapshot (:meth:`MetricsRegistry.report`) is always JSON-serializable and a
+no-op twin (:class:`NoopRegistry`) can mirror the full API with zero state.
+
+Design rule for hot paths: *accumulate locally, record once*.  Instrumented
+kernels keep per-iteration tallies in local variables and make a handful of
+registry calls per invocation, so the disabled path costs nothing and the
+enabled path stays off the per-node/per-arc critical loop.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = ["Summary", "MetricsRegistry", "NoopRegistry", "NOOP_REGISTRY"]
+
+#: cap on per-metric samples retained for percentile estimates
+_MAX_SAMPLES = 4096
+
+
+class Summary:
+    """Streaming summary of an observed value (timer durations, hop counts).
+
+    Tracks count / total / min / max exactly and keeps a bounded sample
+    reservoir (first ``_MAX_SAMPLES`` observations) for percentiles.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.samples) < _MAX_SAMPLES:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (exact while under the sample cap)."""
+        if not self.samples:
+            return float("nan")
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def as_dict(self) -> dict:
+        return {
+            "count": int(self.count),
+            "total": float(self.total),
+            "mean": float(self.mean) if self.count else None,
+            "min": float(self.min) if self.count else None,
+            "max": float(self.max) if self.count else None,
+            "p50": float(self.percentile(50)) if self.count else None,
+            "p99": float(self.percentile(99)) if self.count else None,
+        }
+
+
+class _TimerContext:
+    """``with registry.timer("name"):`` — records a wall-clock duration."""
+
+    __slots__ = ("_registry", "_name", "_t0", "elapsed")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._t0 = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        self._registry.observe_timer(self._name, self.elapsed)
+
+
+class MetricsRegistry:
+    """Counters + gauges + timer/value summaries behind string names.
+
+    Not thread-safe by design (the kernels it instruments are
+    single-threaded); wrap access in a lock if you share one across threads.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.timers: dict[str, Summary] = {}
+        self.values: dict[str, Summary] = {}
+
+    # -- recording ------------------------------------------------------
+    def incr(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``max(current, value)``."""
+        cur = self.gauges.get(name)
+        if cur is None or value > cur:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram summary ``name``."""
+        s = self.values.get(name)
+        if s is None:
+            s = self.values[name] = Summary()
+        s.observe(value)
+
+    def observe_timer(self, name: str, seconds: float) -> None:
+        """Record a duration (seconds) into timer summary ``name``."""
+        s = self.timers.get(name)
+        if s is None:
+            s = self.timers[name] = Summary()
+        s.observe(seconds)
+
+    def timer(self, name: str) -> _TimerContext:
+        """Context manager timing its body into timer ``name``."""
+        return _TimerContext(self, name)
+
+    # -- snapshot -------------------------------------------------------
+    def report(self) -> dict:
+        """JSON-serializable snapshot of everything recorded so far."""
+        return {
+            "counters": {k: (int(v) if float(v).is_integer() else float(v))
+                         for k, v in sorted(self.counters.items())},
+            "gauges": {k: float(v) for k, v in sorted(self.gauges.items())},
+            "timers": {k: s.as_dict() for k, s in sorted(self.timers.items())},
+            "values": {k: s.as_dict() for k, s in sorted(self.values.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded metrics."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.timers.clear()
+        self.values.clear()
+
+
+class _NoopTimerContext:
+    """Shared, stateless ``with`` block — the disabled-path timer."""
+
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NoopTimerContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NOOP_TIMER = _NoopTimerContext()
+
+
+class NoopRegistry(MetricsRegistry):
+    """Registry twin whose every method does nothing.
+
+    A single module-level instance (:data:`NOOP_REGISTRY`) is handed out
+    whenever observability is disabled, so instrumented code never branches
+    — it always talks to *a* registry — and the disabled path allocates
+    nothing (``timer`` returns one shared context manager).
+    """
+
+    def incr(self, name: str, n: float = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def gauge_max(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def observe_timer(self, name: str, seconds: float) -> None:
+        return None
+
+    def timer(self, name: str) -> _NoopTimerContext:
+        return _NOOP_TIMER
+
+    def report(self) -> dict:
+        return {"counters": {}, "gauges": {}, "timers": {}, "values": {}}
+
+
+NOOP_REGISTRY = NoopRegistry()

@@ -1,0 +1,129 @@
+"""Structured trace-event sink: JSON-lines spans with nesting.
+
+Every event is one JSON object per line (JSONL), so traces stream to disk
+and are greppable / loadable with any JSON tool.  Two event types:
+
+``span``
+    Emitted when a span *closes*.  Fields: ``name``, ``t0``/``t1``/``dur``
+    (seconds on the :func:`time.perf_counter` clock), ``depth`` (nesting
+    level, 0 = top), ``parent`` (enclosing span name or ``null``), plus any
+    user attributes under ``attrs``.
+``instant``
+    A point event: ``name``, ``t``, ``depth``, ``attrs``.  Used for
+    per-level / per-batch progress marks inside a span (e.g. BFS frontier
+    sizes).
+
+Spans must close in LIFO order — :meth:`TraceSink.end` raises if a span
+other than the innermost open one is closed, which keeps ``depth`` and
+``parent`` trustworthy.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO
+
+__all__ = ["TraceSink", "SpanHandle"]
+
+
+class SpanHandle:
+    """One open span; context manager returned by :meth:`TraceSink.span`."""
+
+    __slots__ = ("_sink", "name", "attrs", "t0")
+
+    def __init__(self, sink: "TraceSink", name: str, attrs: dict):
+        self._sink = sink
+        self.name = name
+        self.attrs = attrs
+        self.t0 = 0.0
+
+    def set(self, **attrs) -> "SpanHandle":
+        """Attach/override attributes (e.g. totals known only at the end)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "SpanHandle":
+        self._sink._begin(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._sink.end(self)
+
+
+class TraceSink:
+    """Writes trace events as JSON lines to an open text stream.
+
+    Parameters
+    ----------
+    stream:
+        A writable text file object.  The sink never opens or closes paths
+        itself — ownership stays with the caller (see
+        :func:`repro.obs.enable`).
+    clock:
+        Timestamp source, default :func:`time.perf_counter`.
+    """
+
+    def __init__(self, stream: IO[str], clock=time.perf_counter):
+        self.stream = stream
+        self.clock = clock
+        self._stack: list[SpanHandle] = []
+        self.events_written = 0
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str, /, **attrs) -> SpanHandle:
+        """Create (but do not yet open) a span; use as a context manager."""
+        return SpanHandle(self, name, attrs)
+
+    def _begin(self, handle: SpanHandle) -> None:
+        handle.t0 = self.clock()
+        self._stack.append(handle)
+
+    def end(self, handle: SpanHandle) -> None:
+        """Close ``handle`` (must be the innermost open span) and emit it."""
+        if not self._stack or self._stack[-1] is not handle:
+            raise RuntimeError(
+                f"span {handle.name!r} closed out of order "
+                f"(innermost open span is "
+                f"{self._stack[-1].name if self._stack else None!r})"
+            )
+        self._stack.pop()
+        t1 = self.clock()
+        self._emit(
+            {
+                "type": "span",
+                "name": handle.name,
+                "t0": handle.t0,
+                "t1": t1,
+                "dur": t1 - handle.t0,
+                "depth": len(self._stack),
+                "parent": self._stack[-1].name if self._stack else None,
+                "attrs": handle.attrs,
+            }
+        )
+
+    def instant(self, name: str, /, **attrs) -> None:
+        """Emit a point event at the current nesting depth."""
+        self._emit(
+            {
+                "type": "instant",
+                "name": name,
+                "t": self.clock(),
+                "depth": len(self._stack),
+                "parent": self._stack[-1].name if self._stack else None,
+                "attrs": attrs,
+            }
+        )
+
+    # -- plumbing -------------------------------------------------------
+    def _emit(self, event: dict) -> None:
+        self.stream.write(json.dumps(event, default=str) + "\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        if self._stack:
+            raise RuntimeError(
+                f"{len(self._stack)} span(s) still open: "
+                + ", ".join(h.name for h in self._stack)
+            )
+        self.stream.flush()

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 from functools import lru_cache
 
+from repro import obs
 from repro.core.ipgraph import IPGraph
 from repro.core.network import Label
 from repro.core.superip import (
@@ -147,7 +148,9 @@ class SuperIPRouter:
         to ``dst_node`` (−1 at the destination itself)."""
         cached = self._next_gen_cache.get(dst_node)
         if cached is not None:
+            obs.registry().incr("routing.superip.table_cache_hits")
             return cached
+        obs.registry().incr("routing.superip.table_builds")
         g = self._nuc_graph
         n = g.num_nodes
         next_gen = [-1] * n
@@ -218,8 +221,11 @@ class SuperIPRouter:
         Guaranteed length ≤ ``l·D_G + t`` (non-symmetric) or
         ``l·D_G + t_S`` (symmetric).
         """
+        reg = obs.registry()
         src, dst = tuple(src), tuple(dst)
         if src == dst:
+            reg.incr("routing.superip.routes")
+            reg.observe("routing.superip.hops", 0)
             return [src]
         blocks = self.split(src)
         dst_blocks = self.split(dst)
@@ -262,6 +268,8 @@ class SuperIPRouter:
                 sort_front_to(slot)
         if path[-1] != dst:
             raise RuntimeError("sorting router failed to reach destination")
+        reg.incr("routing.superip.routes")
+        reg.observe("routing.superip.hops", len(path) - 1)
         return path
 
     def _sort_front_sym(self, blocks: list[tuple], target_block: tuple) -> list[list[tuple]]:

@@ -11,6 +11,7 @@ from collections import deque
 
 import numpy as np
 
+from repro import obs
 from repro.core.network import Network
 from repro.metrics.distances import bfs_distances
 
@@ -19,6 +20,8 @@ __all__ = ["shortest_path", "NextHopTable"]
 
 def shortest_path(net: Network, src: int, dst: int) -> list[int]:
     """One shortest path (node ids, inclusive of endpoints) via BFS."""
+    reg = obs.registry()
+    reg.incr("routing.routes")
     if src == dst:
         return [src]
     csr = net.adjacency_csr()
@@ -37,6 +40,7 @@ def shortest_path(net: Network, src: int, dst: int) -> list[int]:
                 while out[-1] != src:
                     out.append(parent[out[-1]])
                 out.reverse()
+                reg.observe("routing.hops", len(out) - 1)
                 return out
             q.append(v)
     raise ValueError(f"no path from {src} to {dst}")
@@ -56,24 +60,28 @@ class NextHopTable:
         csr = net.adjacency_csr()
         indptr, indices = csr.indptr, csr.indices
         self.net = net
-        self.table = np.empty((n, n), dtype=np.int32)
-        arc_counts = np.diff(indptr)
-        if n > 1 and (arc_counts == 0).any():
-            raise ValueError("network has isolated nodes")
-        for start in range(0, n, chunk):
-            dsts = np.arange(start, min(start + chunk, n))
-            dist = bfs_distances(csr, dsts)  # distances FROM dst (undirected)
-            if (dist < 0).any():
-                raise ValueError("network is disconnected")
-            for row, dst in enumerate(dsts):
-                d = dist[row]
-                # per-arc test: does this neighbor sit one step closer to dst?
-                closer = d[indices] == np.repeat(d, arc_counts) - 1
-                # smallest eligible neighbor id per node (n = sentinel)
-                candidates = np.where(closer, indices, n)
-                nh = np.minimum.reduceat(candidates, indptr[:-1]).astype(np.int32)
-                nh[dst] = dst
-                self.table[dst] = nh
+        with obs.span("routing.table.build", n=n, chunk=chunk):
+            self.table = np.empty((n, n), dtype=np.int32)
+            arc_counts = np.diff(indptr)
+            if n > 1 and (arc_counts == 0).any():
+                raise ValueError("network has isolated nodes")
+            for start in range(0, n, chunk):
+                dsts = np.arange(start, min(start + chunk, n))
+                dist = bfs_distances(csr, dsts)  # distances FROM dst (undirected)
+                if (dist < 0).any():
+                    raise ValueError("network is disconnected")
+                for row, dst in enumerate(dsts):
+                    d = dist[row]
+                    # per-arc test: does this neighbor sit one step closer to dst?
+                    closer = d[indices] == np.repeat(d, arc_counts) - 1
+                    # smallest eligible neighbor id per node (n = sentinel)
+                    candidates = np.where(closer, indices, n)
+                    nh = np.minimum.reduceat(candidates, indptr[:-1]).astype(np.int32)
+                    nh[dst] = dst
+                    self.table[dst] = nh
+        reg = obs.registry()
+        reg.incr("routing.table.builds")
+        reg.incr("routing.table.nodes", n)
 
     def next_hop(self, u: int, dst: int) -> int:
         """Neighbor of ``u`` on a shortest path to ``dst``."""
@@ -87,4 +95,7 @@ class NextHopTable:
             out.append(self.next_hop(out[-1], dst))
             if len(out) > guard:  # pragma: no cover — corrupt table
                 raise RuntimeError("routing loop detected")
+        reg = obs.registry()
+        reg.incr("routing.routes")
+        reg.observe("routing.hops", len(out) - 1)
         return out

@@ -20,11 +20,13 @@ This simulator makes those claims measurable.  Model:
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 from collections.abc import Callable, Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.core.network import Network
 from repro.routing.table import NextHopTable
 
@@ -128,48 +130,83 @@ class PacketSimulator:
         -------
         SimStats
         """
-        packets: list[Packet] = []
-        events: list[tuple[int, int, int, int]] = []  # (time, seq, pid, node)
-        seq = 0
-        for t, src, dst in injections:
-            if src == dst:
-                continue
-            p = Packet(len(packets), int(src), int(dst), int(t))
-            packets.append(p)
-            events.append((int(t), seq, p.pid, int(src)))
-            seq += 1
-        heapq.heapify(events)
+        _reg = obs.registry()
+        _profiling = obs.enabled()
+        with obs.span(
+            "sim.run", network=self.net.name, nodes=self.net.num_nodes
+        ) as _sp:
+            _t0 = time.perf_counter() if _profiling else 0.0
 
-        busy_until = np.zeros(len(self._indices), dtype=np.int64)
-        busy_time = np.zeros(len(self._indices), dtype=np.int64)
-        horizon = 0
-        mod = self.module_of
+            packets: list[Packet] = []
+            events: list[tuple[int, int, int, int]] = []  # (time, seq, pid, node)
+            seq = 0
+            for t, src, dst in injections:
+                if src == dst:
+                    continue
+                p = Packet(len(packets), int(src), int(dst), int(t))
+                packets.append(p)
+                events.append((int(t), seq, p.pid, int(src)))
+                seq += 1
+            heapq.heapify(events)
 
-        while events:
-            t, _, pid, node = heapq.heappop(events)
-            if max_cycles is not None and t > max_cycles:
-                break
-            p = packets[pid]
-            if node == p.dst:
-                p.t_deliver = t
-                horizon = max(horizon, t)
-                continue
-            if p.hops > 4 * self.net.num_nodes + 64:
-                raise RuntimeError(
-                    f"packet {p.pid} exceeded the hop guard — routing loop?"
+            busy_until = np.zeros(len(self._indices), dtype=np.int64)
+            busy_time = np.zeros(len(self._indices), dtype=np.int64)
+            horizon = 0
+            mod = self.module_of
+            events_processed = 0
+            max_queue_depth = len(events)
+
+            while events:
+                t, _, pid, node = heapq.heappop(events)
+                events_processed += 1
+                if _profiling and len(events) > max_queue_depth:
+                    max_queue_depth = len(events)
+                if max_cycles is not None and t > max_cycles:
+                    break
+                p = packets[pid]
+                if node == p.dst:
+                    p.t_deliver = t
+                    horizon = max(horizon, t)
+                    continue
+                if p.hops > 4 * self.net.num_nodes + 64:
+                    raise RuntimeError(
+                        f"packet {p.pid} exceeded the hop guard — routing loop?"
+                    )
+                nxt = self.next_hop(node, p.dst)
+                c = self._channel(node, nxt)
+                start = max(t, int(busy_until[c]))
+                finish = start + int(self.delays[c])
+                busy_until[c] = finish
+                busy_time[c] += int(self.delays[c])
+                p.hops += 1
+                if mod is not None and mod[node] != mod[nxt]:
+                    p.off_hops += 1
+                seq += 1
+                heapq.heappush(events, (finish, seq, pid, nxt))
+                horizon = max(horizon, finish)
+
+            if _profiling:
+                dt = time.perf_counter() - _t0
+                delivered = 0
+                for p in packets:
+                    if p.t_deliver >= 0:
+                        delivered += 1
+                        _reg.observe("sim.latency", p.latency)
+                        _reg.observe("sim.hops", p.hops)
+                _reg.incr("sim.runs")
+                _reg.incr("sim.events", events_processed)
+                _reg.incr("sim.packets_injected", len(packets))
+                _reg.incr("sim.packets_delivered", delivered)
+                _reg.gauge_max("sim.max_queue_depth", max_queue_depth)
+                _reg.gauge("sim.events_per_sec", events_processed / dt if dt else 0.0)
+                _reg.gauge("sim.delivered_per_sec", delivered / dt if dt else 0.0)
+                _sp.set(
+                    events=events_processed,
+                    packets=len(packets),
+                    delivered=delivered,
+                    max_queue_depth=max_queue_depth,
+                    horizon=int(max(horizon, 1)),
                 )
-            nxt = self.next_hop(node, p.dst)
-            c = self._channel(node, nxt)
-            start = max(t, int(busy_until[c]))
-            finish = start + int(self.delays[c])
-            busy_until[c] = finish
-            busy_time[c] += int(self.delays[c])
-            p.hops += 1
-            if mod is not None and mod[node] != mod[nxt]:
-                p.off_hops += 1
-            seq += 1
-            heapq.heappush(events, (finish, seq, pid, nxt))
-            horizon = max(horizon, finish)
 
         return SimStats.from_run(
             packets=packets,

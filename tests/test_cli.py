@@ -62,3 +62,65 @@ class TestCommands:
     def test_unknown_network(self):
         with pytest.raises(KeyError):
             main(["info", "not-a-net"])
+
+
+class TestProfileFlags:
+    """--profile / --trace on info, figure and summary (see repro.obs)."""
+
+    def test_info_profile_prints_timing_table(self, capsys):
+        assert main(["info", "hsn", "--profile", "--param", "l=2", "--param", "n=2"]) == 0
+        out = capsys.readouterr().out
+        assert "HSN(2,Q2)" in out  # the command's own output is intact
+        assert "-- timers --" in out
+        assert "closure.build.fast" in out
+        assert "closure.fast.nodes" in out
+
+    def test_info_trace_writes_valid_jsonl(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "out.jsonl"
+        assert (
+            main(
+                ["info", "hsn", "--trace", str(trace),
+                 "--param", "l=2", "--param", "n=2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert str(trace) in out
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert events, "trace file must not be empty"
+        assert all(e["type"] in ("span", "instant") for e in events)
+        assert any(e["name"] == "closure.build.fast" for e in events)
+        spans = [e for e in events if e["type"] == "span"]
+        assert all({"t0", "t1", "dur", "depth", "parent", "attrs"} <= e.keys()
+                   for e in spans)
+
+    def test_profile_and_trace_together(self, capsys, tmp_path):
+        trace = tmp_path / "both.jsonl"
+        args = ["info", "hsn", "--profile", "--trace", str(trace),
+                "--param", "l=2", "--param", "n=2"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "-- timers --" in out
+        assert trace.exists()
+
+    def test_profile_off_by_default(self, capsys):
+        from repro import obs
+
+        obs.reset()
+        assert main(["info", "star", "--param", "n=4"]) == 0
+        out = capsys.readouterr().out
+        assert "-- timers --" not in out
+        assert not obs.enabled()
+        assert obs.report()["counters"] == {}
+
+    def test_summary_profile(self, capsys):
+        assert main(["summary", "--size", "16", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "-- timers --" in out
+
+    def test_figure_profile(self, capsys):
+        assert main(["figure", "53", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "-- timers --" in out
