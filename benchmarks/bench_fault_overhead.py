@@ -1,0 +1,188 @@
+"""No-fault-path overhead of the degraded-mode simulator (<5% budget).
+
+The fault-injection subsystem threads drop/retransmit/reroute support
+through :class:`repro.sim.PacketSimulator`.  This bench asserts the healthy
+path — ``faults=None`` — stays within 5% of a verbatim copy of the
+pre-change simulator kept below as the baseline.  Methodology mirrors
+``bench_obs_overhead.py``: paired back-to-back runs with alternating order,
+GC parked during timing, median of per-round ratios.
+
+Run directly (exits non-zero on regression)::
+
+    PYTHONPATH=src python benchmarks/bench_fault_overhead.py
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro import networks as nw
+from repro.routing.table import NextHopTable
+from repro.sim.simulator import PacketSimulator, Packet
+from repro.sim.stats import SimStats
+from repro.sim.workloads import uniform_random
+
+THRESHOLD = 0.05
+ROUNDS = 11
+RATE = 0.3
+CYCLES = 250
+
+
+class _BaselineSimulator:
+    """The packet simulator exactly as it was before fault injection."""
+
+    def __init__(self, net, delays=1):
+        self.net = net
+        csr = net.adjacency_csr()
+        self._indptr = csr.indptr
+        self._indices = csr.indices
+        nchan = len(self._indices)
+        self.delays = np.full(nchan, int(delays), dtype=np.int64)
+        self._table = NextHopTable(net)
+        self.next_hop = self._table.next_hop
+
+    def _channel(self, u, v):
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        row = self._indices[lo:hi]
+        pos = np.searchsorted(row, v)
+        if pos >= len(row) or row[pos] != v:
+            raise ValueError(f"no channel {u}->{v}")
+        return int(lo + pos)
+
+    def run(self, injections, max_cycles=None):
+        packets: list[Packet] = []
+        events: list[tuple[int, int, int, int]] = []
+        seq = 0
+        for t, src, dst in injections:
+            if src == dst:
+                continue
+            p = Packet(len(packets), int(src), int(dst), int(t))
+            packets.append(p)
+            events.append((int(t), seq, p.pid, int(src)))
+            seq += 1
+        heapq.heapify(events)
+
+        busy_until = np.zeros(len(self._indices), dtype=np.int64)
+        busy_time = np.zeros(len(self._indices), dtype=np.int64)
+        horizon = 0
+        while events:
+            t, _, pid, node = heapq.heappop(events)
+            if max_cycles is not None and t > max_cycles:
+                break
+            p = packets[pid]
+            if node == p.dst:
+                p.t_deliver = t
+                horizon = max(horizon, t)
+                continue
+            if p.hops > 4 * self.net.num_nodes + 64:
+                raise RuntimeError("routing loop?")
+            nxt = self.next_hop(node, p.dst)
+            c = self._channel(node, nxt)
+            start = max(t, int(busy_until[c]))
+            finish = start + int(self.delays[c])
+            busy_until[c] = finish
+            busy_time[c] += int(self.delays[c])
+            p.hops += 1
+            seq += 1
+            heapq.heappush(events, (finish, seq, pid, nxt))
+            horizon = max(horizon, finish)
+
+        return SimStats.from_run(
+            packets=packets,
+            horizon=horizon,
+            busy_time=busy_time,
+            arc_sources=np.repeat(
+                np.arange(self.net.num_nodes), np.diff(self._indptr)
+            ),
+            arc_targets=self._indices,
+            module_of=None,
+            num_nodes=self.net.num_nodes,
+        )
+
+
+def _time_once(fn) -> float:
+    gc.collect()
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _paired_overhead(fn_base, fn_inst, rounds: int = ROUNDS):
+    """Median of per-round new/baseline ratios (order alternates)."""
+    ratios, base_times, inst_times = [], [], []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for i in range(rounds):
+            if i % 2 == 0:
+                b = _time_once(fn_base)
+                t = _time_once(fn_inst)
+            else:
+                t = _time_once(fn_inst)
+                b = _time_once(fn_base)
+            base_times.append(b)
+            inst_times.append(t)
+            ratios.append(t / b)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+    return statistics.median(ratios), min(base_times), min(inst_times)
+
+
+def measure(rounds: int = ROUNDS) -> dict:
+    net = nw.hypercube(7)  # 128 nodes
+    rng = np.random.default_rng(42)
+    injections = uniform_random(net, RATE, CYCLES, rng)
+
+    base = _BaselineSimulator(net)
+    new = PacketSimulator(net)
+
+    # sanity: the no-fault path reproduces the baseline's numbers exactly
+    sb = base.run(injections)
+    sn = new.run(injections)
+    for field in ("delivered", "undelivered", "mean_latency", "mean_hops",
+                  "max_latency", "throughput", "horizon"):
+        assert getattr(sb, field) == getattr(sn, field), field
+    assert sn.dropped == sn.retransmitted == sn.rerouted == 0
+
+    base.run(injections)  # warm-up
+    new.run(injections)
+    ratio, b, t = _paired_overhead(
+        lambda: base.run(injections), lambda: new.run(injections), rounds
+    )
+    return {
+        "packets": len(injections),
+        "baseline_s": b,
+        "new_s": t,
+        "overhead": ratio - 1.0,
+    }
+
+
+def main() -> int:
+    # noisy boxes throw outlier medians; a real regression fails every try
+    for attempt in range(1, 4):
+        r = measure()
+        print(
+            f"packet sim, Q7 (128 nodes), {r['packets']} packets, "
+            f"median of {ROUNDS} paired ratios (attempt {attempt}):\n"
+            f"  pre-fault-injection baseline  {r['baseline_s'] * 1e3:8.2f} ms (best)\n"
+            f"  degraded-mode sim, no faults  {r['new_s'] * 1e3:8.2f} ms (best)\n"
+            f"  overhead (median ratio)       {r['overhead'] * 100:+8.2f} %"
+        )
+        if r["overhead"] < THRESHOLD:
+            print(f"OK: under the {THRESHOLD:.0%} budget")
+            return 0
+        print("over budget, retrying...", file=sys.stderr)
+    print(f"FAIL: no-fault-path overhead exceeds {THRESHOLD:.0%}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

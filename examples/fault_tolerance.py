@@ -2,9 +2,14 @@
 
 The paper lists fault tolerance among the star graph's desirable
 properties and derives symmetric super-IP variants precisely because
-vertex-symmetric regular networks degrade gracefully.  This example
-measures connectivity and random-fault degradation for a plain HSN, its
-symmetric variant, and same-size baselines.
+vertex-symmetric regular networks degrade gracefully.  This example shows
+both sides of that claim:
+
+1. the *static* side — connectivity and random-fault degradation of the
+   topology (``repro.metrics.fault``);
+2. the *dynamic* side — delivery ratio and latency dilation of live packet
+   traffic when links actually fail mid-run, with fault-aware rerouting and
+   source retransmission (``repro.fault``).
 
 Run:  python examples/fault_tolerance.py
 """
@@ -13,6 +18,7 @@ import numpy as np
 
 from repro import networks
 from repro.analysis.report import render_table
+from repro.fault import fault_sweep
 from repro.metrics import (
     is_maximally_fault_tolerant,
     node_connectivity,
@@ -20,9 +26,9 @@ from repro.metrics import (
 )
 
 
-def main() -> None:
+def build_cases():
     nucleus = networks.hypercube_nucleus(2)
-    cases = [
+    return [
         networks.hsn(2, nucleus),                     # plain HSN, 16 nodes
         networks.symmetric_hsn(2, nucleus),           # symmetric, 32 nodes
         networks.hypercube(5),                        # 32 nodes
@@ -30,6 +36,8 @@ def main() -> None:
         networks.cube_connected_cycles(3),            # 24 nodes, 3-regular
     ]
 
+
+def static_table(cases) -> str:
     rows = []
     for g in cases:
         rng = np.random.default_rng(11)
@@ -45,13 +53,47 @@ def main() -> None:
                 "mean surviving diam": round(rep.mean_surviving_diameter, 1),
             }
         )
-    print(render_table(rows))
+    return render_table(rows)
+
+
+def dynamic_table(cases) -> str:
+    rows = []
+    for g in cases:
+        sweep = fault_sweep(
+            g, fault_counts=[0, 2, 4], trials=3, rate=0.05, cycles=40, seed=7
+        )
+        for r in sweep:
+            rows.append(
+                {
+                    "network": r["network"],
+                    "link faults": r["faults"],
+                    "delivery ratio": round(r["delivery_ratio"], 3),
+                    "latency dilation": round(r["latency_dilation"], 3),
+                    "rerouted": r["rerouted"],
+                    "retransmitted": r["retransmitted"],
+                }
+            )
+    return render_table(rows)
+
+
+def main() -> None:
+    cases = build_cases()
+
+    print("== static: connectivity and survivor structure ==")
+    print(static_table(cases))
+    print()
+    print("== dynamic: delivery under live link faults (Monte-Carlo) ==")
+    print(dynamic_table(cases))
     print()
     print("Readings:")
     print(" * every vertex-symmetric network here is maximally fault tolerant")
     print("   (connectivity = degree); the plain HSN is limited by its")
     print("   irregular diagonal nodes, one argument for the symmetric seeds")
     print("   of Section 3.5.")
+    print(" * the same ordering shows up dynamically: with fault-aware")
+    print("   rerouting the hierarchical families keep delivery ratio ~1 and")
+    print("   small latency dilation, while the ring loses packets as soon")
+    print("   as two cuts land apart.")
 
 
 if __name__ == "__main__":

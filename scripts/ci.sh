@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full CI gate: tier-1 test suite + observability overhead budget.
+# Full CI gate: tier-1 test suite + overhead budgets + example smoke tests.
 #
 # Usage:  scripts/ci.sh
 set -euo pipefail
@@ -13,6 +13,15 @@ python -m pytest -x -q
 echo
 echo "== observability disabled-path overhead budget (<2%) =="
 python benchmarks/bench_obs_overhead.py
+
+echo
+echo "== degraded-mode simulator no-fault overhead budget (<5%) =="
+python benchmarks/bench_fault_overhead.py
+
+echo
+echo "== fault-tolerance example smoke test =="
+python examples/fault_tolerance.py > /dev/null
+echo "OK"
 
 echo
 echo "CI OK"

@@ -15,7 +15,7 @@ Quick start::
     7
 """
 
-from . import algorithms, core, embed, io, layout, metrics, networks, routing, sim
+from . import algorithms, core, embed, fault, io, layout, metrics, networks, routing, sim
 from .core import (
     BallArrangementGame,
     Generator,
@@ -39,6 +39,7 @@ __all__ = [
     "Generator",
     "IPGraph",
     "embed",
+    "fault",
     "io",
     "layout",
     "metrics",

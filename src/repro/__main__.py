@@ -6,10 +6,12 @@ Usage::
     python -m repro info hsn --param l=2 --param n=3 [--modules nucleus]
     python -m repro figure 2|3|4|5|53
     python -m repro summary --size 256
+    python -m repro faults --faults 0,1,2,4 --trials 3
+    python -m repro faults --network hypercube --param n=4 --kind node
 
-``info``, ``figure`` and ``summary`` accept ``--profile`` (print a
-timing/counter table after the command) and ``--trace FILE`` (write the
-JSONL span trace of the run); see :mod:`repro.obs`.
+``info``, ``figure``, ``summary`` and ``faults`` accept ``--profile``
+(print a timing/counter table after the command) and ``--trace FILE``
+(write the JSONL span trace of the run); see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -77,6 +79,31 @@ def cmd_summary(args) -> int:
     from repro.analysis import grand_comparison, render_table
 
     rows = grand_comparison(args.size, module_cap=args.module_cap)
+    print(render_table(rows))
+    return 0
+
+
+def cmd_faults(args) -> int:
+    from repro.analysis.report import render_table
+    from repro.fault import fault_comparison, fault_sweep
+    from repro.networks import build
+
+    try:
+        fault_counts = [int(f) for f in args.faults.split(",") if f != ""]
+    except ValueError:
+        raise SystemExit(f"--faults expects comma-separated ints, got {args.faults!r}")
+    kw = dict(
+        trials=args.trials,
+        kind=args.kind,
+        rate=args.rate,
+        cycles=args.cycles,
+        seed=args.seed,
+    )
+    if args.network is not None:
+        g = build(args.network, **_parse_params(args.param))
+        rows = fault_sweep(g, fault_counts, **kw)
+    else:
+        rows = fault_comparison(fault_counts=fault_counts, **kw)
     print(render_table(rows))
     return 0
 
@@ -149,12 +176,33 @@ def main(argv: list[str] | None = None) -> int:
     p_sum.add_argument("--size", type=int, default=256)
     p_sum.add_argument("--module-cap", type=int, default=16)
 
+    p_flt = sub.add_parser(
+        "faults",
+        help="Monte-Carlo resilience sweep (delivery ratio vs fault count)",
+        parents=[profiled],
+    )
+    p_flt.add_argument(
+        "--network",
+        default=None,
+        help="registry name (default: the HSN/CN/baseline comparison set)",
+    )
+    p_flt.add_argument("--param", action="append", default=[], metavar="K=V")
+    p_flt.add_argument(
+        "--faults", default="0,1,2,4", help="comma-separated fault counts"
+    )
+    p_flt.add_argument("--trials", type=int, default=3)
+    p_flt.add_argument("--kind", choices=["link", "node"], default="link")
+    p_flt.add_argument("--rate", type=float, default=0.05)
+    p_flt.add_argument("--cycles", type=int, default=60)
+    p_flt.add_argument("--seed", type=int, default=0)
+
     args = parser.parse_args(argv)
     cmd = {
         "list": cmd_list,
         "info": cmd_info,
         "figure": cmd_figure,
         "summary": cmd_summary,
+        "faults": cmd_faults,
     }[args.cmd]
 
     profile = getattr(args, "profile", False)

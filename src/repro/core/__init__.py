@@ -3,7 +3,7 @@
 from .ballgame import BallArrangementGame, solve_bfs, solve_bidirectional
 from .fastclosure import build_ip_graph_fast
 from .ipgraph import GENERIC, NUCLEUS, SUPER, Generator, IPGraph, build_ip_graph
-from .network import Network
+from .network import Network, RoutingError
 from .permutation import (
     Permutation,
     all_permutations,
@@ -55,6 +55,7 @@ __all__ = [
     "prefix_reversal",
     "random_permutation",
     "reachable_arrangements",
+    "RoutingError",
     "solve_bfs",
     "solve_bidirectional",
     "SUPER",

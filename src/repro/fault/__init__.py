@@ -1,0 +1,36 @@
+"""Fault injection: fault models, degraded views, resilient routing, sweeps.
+
+The subsystem behind the paper's graceful-degradation story:
+
+* :class:`FaultPlan` / :class:`FaultEvent` / :class:`FaultTimeline` —
+  declarative schedules of permanent/transient node and link failures
+  (explicit events or seeded random models) compiled into queryable
+  down-interval timelines (:mod:`repro.fault.plan`);
+* :class:`FaultyNetwork` — a zero-copy mask over a network with stable node
+  ids (:mod:`repro.fault.view`);
+* :class:`ResilientRouter` — primary → alternate-minimal → survivor-path
+  adaptive routing (:mod:`repro.fault.resilient`);
+* :func:`fault_sweep` / :func:`fault_comparison` — Monte-Carlo resilience
+  curves, exposed as the ``faults`` CLI subcommand
+  (:mod:`repro.fault.sweep`).
+
+Pass a :class:`FaultPlan` to :class:`repro.sim.PacketSimulator` to simulate
+in degraded mode; an empty plan is bit-identical to the fault-free
+simulator.
+"""
+
+from .plan import FaultEvent, FaultPlan, FaultTimeline
+from .resilient import ResilientRouter
+from .sweep import default_resilience_cases, fault_comparison, fault_sweep
+from .view import FaultyNetwork
+
+__all__ = [
+    "default_resilience_cases",
+    "FaultEvent",
+    "fault_comparison",
+    "FaultPlan",
+    "fault_sweep",
+    "FaultTimeline",
+    "FaultyNetwork",
+    "ResilientRouter",
+]

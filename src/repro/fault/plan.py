@@ -1,0 +1,354 @@
+"""Fault models: schedules of node/link failures and their compiled timeline.
+
+The paper motivates symmetric super-IP graphs by the star graph's fault
+tolerance (connectivity = degree, graceful degradation).  This module makes
+faults *injectable*: a :class:`FaultPlan` is a declarative schedule of
+permanent or transient node/link failures — either explicit ``(t, kind, id)``
+events or seeded random models (uniform link faults, per-link MTBF renewal
+processes, correlated per-module node failures).  Compiling a plan against a
+concrete :class:`~repro.core.network.Network` yields a
+:class:`FaultTimeline`: per-entity down-intervals with O(1)-ish point and
+range queries, which is what the degraded-mode simulator and the
+:class:`~repro.fault.resilient.ResilientRouter` consult on the hot path.
+
+Links are identified by *undirected* endpoint pairs; failing ``(u, v)``
+masks both directed arcs.  Times are integer cycles on the simulator clock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.core.network import Network
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultTimeline"]
+
+NODE = "node"
+LINK = "link"
+FAIL = "fail"
+REPAIR = "repair"
+
+
+class FaultEvent(NamedTuple):
+    """One scheduled state change: at cycle ``t``, ``ident`` fails/repairs.
+
+    ``ident`` is a node id for ``kind == "node"`` and an ``(u, v)`` endpoint
+    pair for ``kind == "link"``.
+    """
+
+    t: int
+    kind: str
+    ident: int | tuple[int, int]
+    action: str = FAIL
+
+
+def _norm_link(ident) -> tuple[int, int]:
+    u, v = ident
+    u, v = int(u), int(v)
+    return (u, v) if u <= v else (v, u)
+
+
+class FaultPlan:
+    """A declarative schedule of node/link failures and repairs.
+
+    Build explicitly with the chainable ``fail_*`` / ``repair_*`` methods,
+    or sample a seeded random model with the classmethod constructors.  A
+    plan is topology-agnostic until :meth:`compile` checks it against a
+    concrete network (node ids in range, links actually present).
+    """
+
+    def __init__(self, events: list[FaultEvent] | tuple = ()):
+        self.events: list[FaultEvent] = []
+        for ev in events:
+            ev = FaultEvent(*ev)
+            self._check(ev)
+            self.events.append(ev)
+
+    @staticmethod
+    def _check(ev: FaultEvent) -> None:
+        if ev.kind not in (NODE, LINK):
+            raise ValueError(f"fault kind must be 'node' or 'link', got {ev.kind!r}")
+        if ev.action not in (FAIL, REPAIR):
+            raise ValueError(
+                f"fault action must be 'fail' or 'repair', got {ev.action!r}"
+            )
+        if ev.t < 0:
+            raise ValueError(f"fault time must be >= 0, got {ev.t}")
+
+    # -- chainable builders ---------------------------------------------
+    def _add(self, t: int, kind: str, ident, action: str) -> "FaultPlan":
+        ev = FaultEvent(int(t), kind, ident, action)
+        self._check(ev)
+        self.events.append(ev)
+        return self
+
+    def fail_node(self, t: int, node: int) -> "FaultPlan":
+        """Node ``node`` goes down at cycle ``t`` (until repaired)."""
+        return self._add(t, NODE, int(node), FAIL)
+
+    def repair_node(self, t: int, node: int) -> "FaultPlan":
+        """Node ``node`` comes back up at cycle ``t``."""
+        return self._add(t, NODE, int(node), REPAIR)
+
+    def fail_link(self, t: int, u: int, v: int) -> "FaultPlan":
+        """Undirected link ``(u, v)`` goes down at cycle ``t``."""
+        return self._add(t, LINK, _norm_link((u, v)), FAIL)
+
+    def repair_link(self, t: int, u: int, v: int) -> "FaultPlan":
+        """Undirected link ``(u, v)`` comes back up at cycle ``t``."""
+        return self._add(t, LINK, _norm_link((u, v)), REPAIR)
+
+    # -- seeded random models -------------------------------------------
+    @classmethod
+    def random_link_faults(
+        cls,
+        net: Network,
+        count: int,
+        rng: np.random.Generator,
+        horizon: int = 0,
+        mttr: int | None = None,
+    ) -> "FaultPlan":
+        """``count`` distinct links fail at uniform times in ``[0, horizon]``.
+
+        With ``mttr`` (mean time to repair) each failure is transient: the
+        link repairs after an exponential holding time of that mean
+        (rounded up to >= 1 cycle).  ``horizon=0`` fails everything at t=0.
+        """
+        edges = _undirected_edges(net)
+        if count > len(edges):
+            raise ValueError(
+                f"cannot fault {count} links: {net.name!r} has only "
+                f"{len(edges)} undirected links"
+            )
+        plan = cls()
+        picks = rng.choice(len(edges), size=count, replace=False)
+        for e in sorted(int(i) for i in picks):
+            u, v = edges[e]
+            t = int(rng.integers(0, horizon + 1))
+            plan.fail_link(t, u, v)
+            if mttr is not None:
+                plan.repair_link(t + max(1, round(rng.exponential(mttr))), u, v)
+        return plan
+
+    @classmethod
+    def random_node_faults(
+        cls,
+        net: Network,
+        count: int,
+        rng: np.random.Generator,
+        horizon: int = 0,
+        mttr: int | None = None,
+    ) -> "FaultPlan":
+        """``count`` distinct nodes fail at uniform times in ``[0, horizon]``."""
+        if count >= net.num_nodes:
+            raise ValueError("cannot fault every node")
+        plan = cls()
+        picks = rng.choice(net.num_nodes, size=count, replace=False)
+        for v in sorted(int(i) for i in picks):
+            t = int(rng.integers(0, horizon + 1))
+            plan.fail_node(t, v)
+            if mttr is not None:
+                plan.repair_node(t + max(1, round(rng.exponential(mttr))), v)
+        return plan
+
+    @classmethod
+    def link_mtbf(
+        cls,
+        net: Network,
+        mtbf: float,
+        horizon: int,
+        rng: np.random.Generator,
+        mttr: int | None = None,
+    ) -> "FaultPlan":
+        """Renewal-process link faults: every link fails independently with
+        exponential inter-failure times of mean ``mtbf`` cycles, over
+        ``[0, horizon]``.  With ``mttr`` each outage repairs (mean ``mttr``
+        cycles); otherwise the first failure of a link is permanent."""
+        if mtbf <= 0:
+            raise ValueError("mtbf must be positive")
+        plan = cls()
+        for u, v in _undirected_edges(net):
+            t = rng.exponential(mtbf)
+            while t <= horizon:
+                t_fail = int(math.ceil(t))
+                plan.fail_link(t_fail, u, v)
+                if mttr is None:
+                    break
+                repair = t_fail + max(1, round(rng.exponential(mttr)))
+                plan.repair_link(repair, u, v)
+                t = repair + rng.exponential(mtbf)
+        return plan
+
+    @classmethod
+    def module_failures(
+        cls,
+        net: Network,
+        module_of: np.ndarray,
+        modules: int,
+        rng: np.random.Generator,
+        t: int = 0,
+        mttr: int | None = None,
+    ) -> "FaultPlan":
+        """Correlated faults: ``modules`` whole modules (e.g. boards/racks)
+        lose all their nodes at cycle ``t`` — the clustered-failure regime
+        hierarchical networks are meant to survive."""
+        module_of = np.asarray(module_of, dtype=np.int64)
+        if len(module_of) != net.num_nodes:
+            raise ValueError("module_of must assign a module to every node")
+        ids = np.unique(module_of)
+        if modules >= len(ids):
+            raise ValueError("cannot fault every module")
+        plan = cls()
+        picks = rng.choice(len(ids), size=modules, replace=False)
+        for m in sorted(int(i) for i in picks):
+            for v in np.nonzero(module_of == ids[m])[0]:
+                plan.fail_node(t, int(v))
+                if mttr is not None:
+                    plan.repair_node(t + max(1, round(rng.exponential(mttr))), int(v))
+        return plan
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan schedules nothing."""
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        nodes = sum(1 for e in self.events if e.kind == NODE and e.action == FAIL)
+        links = sum(1 for e in self.events if e.kind == LINK and e.action == FAIL)
+        return f"FaultPlan({len(self.events)} events: {nodes} node / {links} link failures)"
+
+    def compile(self, net: Network) -> "FaultTimeline":
+        """Validate against ``net`` and build the queryable timeline."""
+        return FaultTimeline(net, self.events)
+
+
+def _undirected_edges(net: Network) -> list[tuple[int, int]]:
+    """Distinct undirected links of the simple graph, sorted."""
+    csr = net.adjacency_csr(directed=False)
+    coo = csr.tocoo()
+    mask = coo.row < coo.col
+    return sorted(zip(coo.row[mask].tolist(), coo.col[mask].tolist()))
+
+
+def _build_intervals(events: list[tuple[int, str]]) -> list[tuple[int, float]]:
+    """Fold (t, action) pairs into merged, sorted [down, up) intervals."""
+    out: list[tuple[int, float]] = []
+    down_at: int | None = None
+    for t, action in sorted(events):
+        if action == FAIL:
+            if down_at is None:
+                down_at = t
+        else:
+            if down_at is not None and t > down_at:
+                out.append((down_at, t))
+            down_at = None
+    if down_at is not None:
+        out.append((down_at, math.inf))
+    return out
+
+
+class FaultTimeline:
+    """Compiled fault schedule: per-node and per-link down-intervals.
+
+    Intervals are half-open ``[t_down, t_up)``: the entity is unusable at
+    ``t_down`` and usable again at ``t_up``.  Entities never named by the
+    plan cost nothing — queries on them are a dict miss.
+    """
+
+    def __init__(self, net: Network, events: list[FaultEvent]):
+        n = net.num_nodes
+        csr = net.adjacency_csr(directed=False)
+        node_ev: dict[int, list[tuple[int, str]]] = {}
+        link_ev: dict[tuple[int, int], list[tuple[int, str]]] = {}
+        for ev in events:
+            if ev.kind == NODE:
+                v = int(ev.ident)
+                if not 0 <= v < n:
+                    raise ValueError(
+                        f"fault plan names node {v}, but {net.name!r} has "
+                        f"nodes 0..{n - 1}"
+                    )
+                node_ev.setdefault(v, []).append((ev.t, ev.action))
+            else:
+                u, v = _norm_link(ev.ident)
+                if not (0 <= u < n and 0 <= v < n) or not _has_arc(csr, u, v):
+                    raise ValueError(
+                        f"fault plan names link ({u}, {v}), which is not an "
+                        f"edge of {net.name!r}"
+                    )
+                link_ev.setdefault((u, v), []).append((ev.t, ev.action))
+        self.net = net
+        self.node_down = {
+            v: ivs for v, e in node_ev.items() if (ivs := _build_intervals(e))
+        }
+        self.link_down = {
+            k: ivs for k, e in link_ev.items() if (ivs := _build_intervals(e))
+        }
+        times: set[int] = set()
+        for ivs in list(self.node_down.values()) + list(self.link_down.values()):
+            for a, b in ivs:
+                times.add(a)
+                if b != math.inf:
+                    times.add(int(b))
+        self.change_times: list[int] = sorted(times)
+
+    @property
+    def empty(self) -> bool:
+        """True when no entity ever goes down."""
+        return not self.node_down and not self.link_down
+
+    # -- point / range queries ------------------------------------------
+    @staticmethod
+    def _down_at(intervals, t) -> bool:
+        return any(a <= t < b for a, b in intervals)
+
+    def node_up_at(self, v: int, t: int) -> bool:
+        """Is node ``v`` usable at cycle ``t``?"""
+        ivs = self.node_down.get(v)
+        return ivs is None or not self._down_at(ivs, t)
+
+    def link_up_at(self, u: int, v: int, t: int) -> bool:
+        """Is undirected link ``(u, v)`` usable at cycle ``t``?"""
+        ivs = self.link_down.get(_norm_link((u, v)))
+        return ivs is None or not self._down_at(ivs, t)
+
+    def link_down_during(self, u: int, v: int, t0: int, t1: int) -> bool:
+        """Did link ``(u, v)`` fail at any point while occupied over the
+        transmission window ``[t0, t1)``?  (Used to drop in-flight packets.)"""
+        ivs = self.link_down.get(_norm_link((u, v)))
+        if ivs is None:
+            return False
+        return any(a < t1 and b > t0 for a, b in ivs)
+
+    def epoch(self, t: int) -> int:
+        """Index of the fault configuration in force at cycle ``t`` —
+        increments at every state change, so it keys snapshot caches."""
+        return bisect.bisect_right(self.change_times, t)
+
+    def dead_nodes_at(self, t: int) -> set[int]:
+        """Node ids down at cycle ``t``."""
+        return {v for v, ivs in self.node_down.items() if self._down_at(ivs, t)}
+
+    def dead_links_at(self, t: int) -> set[tuple[int, int]]:
+        """Undirected link pairs down at cycle ``t``."""
+        return {k for k, ivs in self.link_down.items() if self._down_at(ivs, t)}
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultTimeline({len(self.node_down)} nodes, "
+            f"{len(self.link_down)} links, {len(self.change_times)} changes)"
+        )
+
+
+def _has_arc(csr, u: int, v: int) -> bool:
+    row = csr.indices[csr.indptr[u] : csr.indptr[u + 1]]
+    pos = np.searchsorted(row, v)
+    return bool(pos < len(row) and row[pos] == v)

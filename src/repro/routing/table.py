@@ -2,7 +2,9 @@
 
 Used as the routing oracle for the packet simulator and as the baseline the
 family-specific routers (Theorem 4.1 sorting router, e-cube, ...) are tested
-against.
+against.  The table can optionally retain the full distance matrix, which is
+what the fault-aware :class:`repro.fault.ResilientRouter` uses to enumerate
+*alternate* minimal next hops when the preferred one has failed.
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ from collections import deque
 import numpy as np
 
 from repro import obs
-from repro.core.network import Network
+from repro.core.network import Network, RoutingError
 from repro.metrics.distances import bfs_distances
 
 __all__ = ["shortest_path", "NextHopTable"]
@@ -43,7 +45,10 @@ def shortest_path(net: Network, src: int, dst: int) -> list[int]:
                 reg.observe("routing.hops", len(out) - 1)
                 return out
             q.append(v)
-    raise ValueError(f"no path from {src} to {dst}")
+    raise RoutingError(
+        f"no path from node {src} to node {dst} in {net.name!r}: "
+        f"they lie in different connected components"
+    )
 
 
 class NextHopTable:
@@ -53,30 +58,83 @@ class NextHopTable:
     ``dst`` (or ``u`` itself when ``u == dst``).  Memory is ``O(N^2)``;
     construction is chunked BFS.  This is what the packet simulator uses to
     route — deterministic, minimal, and family-agnostic.
+
+    Parameters
+    ----------
+    net:
+        The topology.
+    chunk:
+        BFS batch size (memory/speed trade-off during construction).
+    with_distances:
+        Keep the full hop-distance matrix (``O(N^2)`` int32 extra) so
+        :meth:`next_hops` / :meth:`distance` work.  Required by the
+        fault-aware router's alternate-minimal-hop search.
+    allow_unreachable:
+        Build tables over disconnected graphs (e.g. fault-degraded survivor
+        views).  Unreachable entries are stored as ``-1`` and querying one
+        raises a :class:`~repro.core.network.RoutingError` naming the pair.
+        When False (default), construction itself fails with an error that
+        names an unreachable pair — never let a silent ``-1`` leak
+        downstream.
     """
 
-    def __init__(self, net: Network, chunk: int = 64):
+    def __init__(
+        self,
+        net: Network,
+        chunk: int = 64,
+        with_distances: bool = False,
+        allow_unreachable: bool = False,
+    ):
         n = net.num_nodes
         csr = net.adjacency_csr()
         indptr, indices = csr.indptr, csr.indices
         self.net = net
+        self._indptr = indptr
+        self._indices = indices
+        self.dist: np.ndarray | None = (
+            np.empty((n, n), dtype=np.int32) if with_distances else None
+        )
         with obs.span("routing.table.build", n=n, chunk=chunk):
             self.table = np.empty((n, n), dtype=np.int32)
             arc_counts = np.diff(indptr)
-            if n > 1 and (arc_counts == 0).any():
-                raise ValueError("network has isolated nodes")
+            isolated = arc_counts == 0
+            if n > 1 and isolated.any() and not allow_unreachable:
+                bad = int(np.nonzero(isolated)[0][0])
+                raise RoutingError(
+                    f"cannot build a next-hop table on {net.name!r}: node {bad} "
+                    f"is isolated (no arcs); pass allow_unreachable=True to "
+                    f"route within components"
+                )
             for start in range(0, n, chunk):
                 dsts = np.arange(start, min(start + chunk, n))
                 dist = bfs_distances(csr, dsts)  # distances FROM dst (undirected)
-                if (dist < 0).any():
-                    raise ValueError("network is disconnected")
+                if (dist < 0).any() and not allow_unreachable:
+                    row, u = np.argwhere(dist < 0)[0]
+                    raise RoutingError(
+                        f"network {net.name!r} is disconnected: node {int(u)} "
+                        f"cannot reach node {int(dsts[row])} (and possibly "
+                        f"others); pass allow_unreachable=True to route "
+                        f"within components"
+                    )
+                if self.dist is not None:
+                    self.dist[dsts] = dist
                 for row, dst in enumerate(dsts):
                     d = dist[row]
+                    if len(indices) == 0:
+                        nh = np.full(n, -1, dtype=np.int32)
+                        nh[dst] = dst
+                        self.table[dst] = nh
+                        continue
                     # per-arc test: does this neighbor sit one step closer to dst?
                     closer = d[indices] == np.repeat(d, arc_counts) - 1
                     # smallest eligible neighbor id per node (n = sentinel)
                     candidates = np.where(closer, indices, n)
-                    nh = np.minimum.reduceat(candidates, indptr[:-1]).astype(np.int32)
+                    starts = np.minimum(indptr[:-1], len(candidates) - 1)
+                    nh = np.minimum.reduceat(candidates, starts).astype(np.int32)
+                    # unreachable or isolated nodes keep the sentinel / read a
+                    # neighbor's slot — both become an explicit -1
+                    nh[nh == n] = -1
+                    nh[isolated] = -1
                     nh[dst] = dst
                     self.table[dst] = nh
         reg = obs.registry()
@@ -84,8 +142,52 @@ class NextHopTable:
         reg.incr("routing.table.nodes", n)
 
     def next_hop(self, u: int, dst: int) -> int:
-        """Neighbor of ``u`` on a shortest path to ``dst``."""
-        return int(self.table[dst, u])
+        """Neighbor of ``u`` on a shortest path to ``dst``.
+
+        Raises :class:`~repro.core.network.RoutingError` (naming the pair)
+        if ``dst`` is unreachable from ``u`` — only possible on tables built
+        with ``allow_unreachable=True``.
+        """
+        v = int(self.table[dst, u])
+        if v < 0:
+            raise RoutingError(
+                f"no route from node {u} to node {dst} in {self.net.name!r}: "
+                f"they lie in different connected components"
+            )
+        return v
+
+    def distance(self, u: int, dst: int) -> int:
+        """Hop distance from ``u`` to ``dst`` (needs ``with_distances=True``).
+
+        Raises :class:`~repro.core.network.RoutingError` for unreachable
+        pairs rather than surfacing the internal ``-1`` sentinel.
+        """
+        if self.dist is None:
+            raise ValueError("table was built without with_distances=True")
+        d = int(self.dist[dst, u])
+        if d < 0:
+            raise RoutingError(
+                f"no route from node {u} to node {dst} in {self.net.name!r}: "
+                f"they lie in different connected components"
+            )
+        return d
+
+    def next_hops(self, u: int, dst: int) -> list[int]:
+        """*All* neighbors of ``u`` on shortest paths to ``dst``, ascending.
+
+        The first entry equals :meth:`next_hop`.  Needs
+        ``with_distances=True``; returns ``[]`` when ``dst`` is unreachable
+        and ``[dst]`` when ``u == dst``.
+        """
+        if self.dist is None:
+            raise ValueError("table was built without with_distances=True")
+        if u == dst:
+            return [dst]
+        d = self.dist[dst]
+        if d[u] < 0:
+            return []
+        nbrs = self._indices[self._indptr[u] : self._indptr[u + 1]]
+        return [int(v) for v in nbrs if d[v] == d[u] - 1]
 
     def path(self, src: int, dst: int) -> list[int]:
         """Full shortest path from ``src`` to ``dst``."""

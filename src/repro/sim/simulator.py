@@ -15,6 +15,16 @@ This simulator makes those claims measurable.  Model:
   table by default, or any custom router such as the Theorem-4.1 sorter);
 * events are processed on a heap — no per-cycle scan, so light-load runs
   are fast even on large networks.
+
+**Degraded mode.**  Passing a :class:`~repro.fault.FaultPlan` lets links and
+nodes fail (and repair) mid-run.  A packet occupying a channel when its link
+dies is dropped and retransmitted from its source after an exponential-
+backoff timeout (``retransmit_timeout * 2**attempt``), up to ``max_retries``
+attempts; routing around faults is delegated to a
+:class:`~repro.fault.ResilientRouter` (alternate minimal hops first, then
+survivor-graph detours, with a per-packet deroute cap against livelock).
+With no plan — or an empty one — the simulator is bit-identical to the
+fault-free implementation.
 """
 
 from __future__ import annotations
@@ -27,8 +37,11 @@ from collections.abc import Callable, Iterable
 import numpy as np
 
 from repro import obs
-from repro.core.network import Network
+from repro.core.network import Network, RoutingError
 from repro.routing.table import NextHopTable
+
+if False:  # import for type checkers only — repro.fault imports repro.sim
+    from repro.fault.plan import FaultPlan, FaultTimeline  # noqa: F401
 
 from .stats import SimStats
 
@@ -38,7 +51,18 @@ __all__ = ["PacketSimulator", "Packet"]
 class Packet:
     """A packet in flight."""
 
-    __slots__ = ("pid", "src", "dst", "t_inject", "t_deliver", "hops", "off_hops")
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "t_inject",
+        "t_deliver",
+        "hops",
+        "off_hops",
+        "retries",
+        "deroutes",
+        "route",
+    )
 
     def __init__(self, pid: int, src: int, dst: int, t_inject: int):
         self.pid = pid
@@ -48,6 +72,9 @@ class Packet:
         self.t_deliver = -1
         self.hops = 0
         self.off_hops = 0
+        self.retries = 0  # retransmissions consumed
+        self.deroutes = 0  # survivor-path detours consumed
+        self.route: deque | None = None  # pinned detour (remaining nodes)
 
     @property
     def latency(self) -> int:
@@ -71,6 +98,18 @@ class PacketSimulator:
         :class:`~repro.routing.table.NextHopTable`.
     module_of:
         Optional module ids (for off-module hop accounting in the stats).
+    faults:
+        Optional :class:`~repro.fault.FaultPlan`.  A non-empty plan enables
+        degraded mode (drops, retransmissions, fault-aware rerouting); an
+        empty plan is exactly equivalent to ``faults=None``.
+    retransmit_timeout:
+        Base source-retransmission timeout in cycles; attempt *k* waits
+        ``retransmit_timeout * 2**(k-1)`` cycles after the drop.
+    max_retries:
+        Retransmissions allowed per packet before it is abandoned.
+    max_deroutes:
+        Survivor-path detours allowed per delivery attempt before the packet
+        is dropped (livelock guard).
     """
 
     def __init__(
@@ -79,6 +118,10 @@ class PacketSimulator:
         delays: int | np.ndarray = 1,
         next_hop: Callable[[int, int], int] | None = None,
         module_of: np.ndarray | None = None,
+        faults: "FaultPlan | None" = None,
+        retransmit_timeout: int = 16,
+        max_retries: int = 4,
+        max_deroutes: int = 8,
     ):
         self.net = net
         csr = net.adjacency_csr()
@@ -93,10 +136,36 @@ class PacketSimulator:
                 raise ValueError("delays must have one entry per directed arc")
         if (self.delays < 1).any():
             raise ValueError("channel delays must be >= 1 cycle")
+        if retransmit_timeout < 1:
+            raise ValueError("retransmit_timeout must be >= 1 cycle")
+        if max_retries < 0 or max_deroutes < 0:
+            raise ValueError("max_retries and max_deroutes must be >= 0")
+        self.retransmit_timeout = int(retransmit_timeout)
+        self.max_retries = int(max_retries)
+        self.max_deroutes = int(max_deroutes)
+        self._arc_sources = np.repeat(np.arange(net.num_nodes), np.diff(self._indptr))
+
+        self._timeline: "FaultTimeline | None" = (
+            faults.compile(net) if faults is not None else None
+        )
+        if self._timeline is not None and self._timeline.empty:
+            self._timeline = None
+        self._router = None
         if next_hop is None:
-            self._table = NextHopTable(net)
-            self.next_hop = self._table.next_hop
+            if self._timeline is not None:
+                from repro.fault.resilient import ResilientRouter
+
+                self._table = NextHopTable(net, with_distances=True)
+                self._router = ResilientRouter(
+                    net, self._timeline, table=self._table
+                )
+                self.next_hop = self._table.next_hop
+            else:
+                self._table = NextHopTable(net)
+                self.next_hop = self._table.next_hop
         else:
+            # custom routers stay in charge of hop choice; degraded mode can
+            # still drop on dead links, but cannot reroute for them
             self.next_hop = next_hop
         self.module_of = (
             None if module_of is None else np.asarray(module_of, dtype=np.int64)
@@ -108,8 +177,36 @@ class PacketSimulator:
         row = self._indices[lo:hi]
         pos = np.searchsorted(row, v)
         if pos >= len(row) or row[pos] != v:
-            raise ValueError(f"no channel {u}->{v}")
+            raise RoutingError(
+                f"no channel {u}->{v} in {self.net.name!r}: the router "
+                f"returned a non-neighbor next hop"
+            )
         return int(lo + pos)
+
+    def _validated(
+        self, injections: Iterable[tuple[int, int, int]]
+    ) -> list[tuple[int, int, int]]:
+        n = self.net.num_nodes
+        out = []
+        for i, (t, src, dst) in enumerate(injections):
+            t, src, dst = int(t), int(src), int(dst)
+            if t < 0:
+                raise ValueError(
+                    f"injection #{i}: injection time must be >= 0, got {t}"
+                )
+            if not (0 <= src < n and 0 <= dst < n):
+                raise ValueError(
+                    f"injection #{i}: node ids must be in [0, {n}) for "
+                    f"{self.net.name!r}, got src={src}, dst={dst}"
+                )
+            if src == dst:
+                raise ValueError(
+                    f"injection #{i}: src == dst == {src}; self-addressed "
+                    f"packets are not routable — filter them out of the "
+                    f"workload (see repro.sim.workloads)"
+                )
+            out.append((t, src, dst))
+        return out
 
     def run(
         self,
@@ -122,6 +219,7 @@ class PacketSimulator:
         ----------
         injections:
             Iterable of ``(t, src, dst)`` tuples (need not be sorted).
+            Validated up front: times >= 0, node ids in range, ``src != dst``.
         max_cycles:
             Optional hard stop; packets still in flight are reported as
             undelivered.
@@ -138,14 +236,13 @@ class PacketSimulator:
             _t0 = time.perf_counter() if _profiling else 0.0
 
             packets: list[Packet] = []
-            events: list[tuple[int, int, int, int]] = []  # (time, seq, pid, node)
+            # (time, seq, pid, node, channel arrived on, transmit start)
+            events: list[tuple[int, int, int, int, int, int]] = []
             seq = 0
-            for t, src, dst in injections:
-                if src == dst:
-                    continue
-                p = Packet(len(packets), int(src), int(dst), int(t))
+            for t, src, dst in self._validated(injections):
+                p = Packet(len(packets), src, dst, t)
                 packets.append(p)
-                events.append((int(t), seq, p.pid, int(src)))
+                events.append((t, seq, p.pid, src, -1, t))
                 seq += 1
             heapq.heapify(events)
 
@@ -156,33 +253,105 @@ class PacketSimulator:
             events_processed = 0
             max_queue_depth = len(events)
 
+            timeline = self._timeline
+            faulted = timeline is not None
+            router = self._router
+            arc_src = self._arc_sources
+            indices = self._indices
+            hop_guard = 4 * self.net.num_nodes + 64
+            dropped = retransmitted = rerouted = 0
+
+            def _drop(p: Packet, now: int) -> None:
+                """Drop the current attempt; retransmit from source with
+                exponential backoff, or abandon past max_retries."""
+                nonlocal dropped, retransmitted, seq
+                dropped += 1
+                p.route = None
+                if p.retries >= self.max_retries:
+                    return
+                p.retries += 1
+                p.hops = 0
+                p.off_hops = 0
+                p.deroutes = 0
+                at = now + self.retransmit_timeout * (1 << (p.retries - 1))
+                seq += 1
+                heapq.heappush(events, (at, seq, p.pid, p.src, -1, at))
+                retransmitted += 1
+
             while events:
-                t, _, pid, node = heapq.heappop(events)
+                t, _, pid, node, chan, start = heapq.heappop(events)
                 events_processed += 1
                 if _profiling and len(events) > max_queue_depth:
                     max_queue_depth = len(events)
                 if max_cycles is not None and t > max_cycles:
                     break
                 p = packets[pid]
+                if faulted:
+                    # the link died while the packet occupied it, or the
+                    # packet landed on a node that is (now) down
+                    if chan >= 0 and timeline.link_down_during(
+                        int(arc_src[chan]), int(indices[chan]), start, t
+                    ):
+                        _drop(p, t)
+                        continue
+                    if not timeline.node_up_at(node, t):
+                        _drop(p, t)
+                        continue
                 if node == p.dst:
                     p.t_deliver = t
                     horizon = max(horizon, t)
                     continue
-                if p.hops > 4 * self.net.num_nodes + 64:
+                if p.hops > hop_guard:
+                    if faulted:  # treat livelock as a loss, not a crash
+                        _drop(p, t)
+                        continue
                     raise RuntimeError(
                         f"packet {p.pid} exceeded the hop guard — routing loop?"
                     )
-                nxt = self.next_hop(node, p.dst)
+                if faulted:
+                    nxt = -1
+                    if p.route:
+                        cand = p.route[0]
+                        if router is not None and router.hop_alive(node, cand, t):
+                            nxt = p.route.popleft()
+                        else:
+                            p.route = None  # detour went stale — replan
+                    if nxt < 0:
+                        if router is not None:
+                            nxt, verdict, rest = router.route_next(node, p.dst, t)
+                            if nxt < 0:
+                                _drop(p, t)
+                                continue
+                            if verdict == "deroute":
+                                p.deroutes += 1
+                                if p.deroutes > self.max_deroutes:
+                                    _drop(p, t)
+                                    continue
+                                p.route = deque(rest)
+                                rerouted += 1
+                            elif verdict == "reroute":
+                                rerouted += 1
+                        else:
+                            # custom router: use its hop, drop if it is dead
+                            nxt = self.next_hop(node, p.dst)
+                            if not (
+                                timeline.link_up_at(node, nxt, t)
+                                and timeline.node_up_at(nxt, t)
+                            ):
+                                _drop(p, t)
+                                continue
+                else:
+                    nxt = self.next_hop(node, p.dst)
                 c = self._channel(node, nxt)
-                start = max(t, int(busy_until[c]))
-                finish = start + int(self.delays[c])
+                tx = max(t, int(busy_until[c]))
+                finish = tx + int(self.delays[c])
                 busy_until[c] = finish
                 busy_time[c] += int(self.delays[c])
                 p.hops += 1
                 if mod is not None and mod[node] != mod[nxt]:
                     p.off_hops += 1
                 seq += 1
-                heapq.heappush(events, (finish, seq, pid, nxt))
+                heapq.heappush(events, (finish, seq, pid, nxt, c, tx))
                 horizon = max(horizon, finish)
 
             if _profiling:
@@ -193,6 +362,8 @@ class PacketSimulator:
                         delivered += 1
                         _reg.observe("sim.latency", p.latency)
                         _reg.observe("sim.hops", p.hops)
+                        if faulted:
+                            _reg.observe("sim.fault_latency", p.latency)
                 _reg.incr("sim.runs")
                 _reg.incr("sim.events", events_processed)
                 _reg.incr("sim.packets_injected", len(packets))
@@ -200,6 +371,12 @@ class PacketSimulator:
                 _reg.gauge_max("sim.max_queue_depth", max_queue_depth)
                 _reg.gauge("sim.events_per_sec", events_processed / dt if dt else 0.0)
                 _reg.gauge("sim.delivered_per_sec", delivered / dt if dt else 0.0)
+                if faulted:
+                    _reg.incr("sim.faults.drops", dropped)
+                    _reg.incr("sim.faults.retransmits", retransmitted)
+                    _reg.incr("sim.faults.reroutes", rerouted)
+                    if router is not None:
+                        _reg.incr("sim.faults.deroutes", router.deroutes)
                 _sp.set(
                     events=events_processed,
                     packets=len(packets),
@@ -212,10 +389,11 @@ class PacketSimulator:
             packets=packets,
             horizon=horizon,
             busy_time=busy_time,
-            arc_sources=np.repeat(
-                np.arange(self.net.num_nodes), np.diff(self._indptr)
-            ),
+            arc_sources=self._arc_sources,
             arc_targets=self._indices,
             module_of=mod,
             num_nodes=self.net.num_nodes,
+            dropped=dropped,
+            retransmitted=retransmitted,
+            rerouted=rerouted,
         )

@@ -12,10 +12,18 @@ class SimStats:
 
     Attributes
     ----------
-    delivered, undelivered:
-        Packet counts.
+    injected, delivered, undelivered:
+        Packet counts (``injected = delivered + undelivered``).
+    delivery_ratio:
+        ``delivered / injected`` (NaN when nothing was injected) — the
+        headline resilience figure under faults; 1.0 on a healthy network.
+    dropped, retransmitted, rerouted:
+        Degraded-mode counters: delivery attempts lost to failures, source
+        retransmissions scheduled, and non-primary hop decisions (alternate
+        minimal hops + survivor-path detours).  All zero without faults.
     mean_latency, p99_latency, max_latency:
-        Injection-to-delivery cycle counts over delivered packets.
+        Injection-to-delivery cycle counts over delivered packets (for
+        retransmitted packets, latency spans from the *original* injection).
     mean_hops, mean_off_hops:
         Average path length and off-module hop count per delivered packet.
     throughput:
@@ -39,6 +47,9 @@ class SimStats:
         arc_targets,
         module_of,
         num_nodes,
+        dropped: int = 0,
+        retransmitted: int = 0,
+        rerouted: int = 0,
     ) -> "SimStats":
         lat = np.array([p.latency for p in packets if p.t_deliver >= 0], dtype=np.int64)
         hops = np.array([p.hops for p in packets if p.t_deliver >= 0], dtype=np.int64)
@@ -54,9 +65,15 @@ class SimStats:
             on_util = float(util[~off_mask].mean()) if (~off_mask).any() else 0.0
         else:
             off_util = on_util = float("nan")
+        injected = len(packets)
         return cls(
+            injected=injected,
             delivered=delivered,
-            undelivered=len(packets) - delivered,
+            undelivered=injected - delivered,
+            delivery_ratio=delivered / injected if injected else float("nan"),
+            dropped=int(dropped),
+            retransmitted=int(retransmitted),
+            rerouted=int(rerouted),
             mean_latency=float(lat.mean()) if delivered else float("nan"),
             p99_latency=float(np.percentile(lat, 99)) if delivered else float("nan"),
             max_latency=int(lat.max()) if delivered else -1,
@@ -69,9 +86,29 @@ class SimStats:
             horizon=horizon,
         )
 
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (JSON-friendly, equality-comparable)."""
+        return dict(self.__dict__)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SimStats):
+            return NotImplemented
+
+        def _key(d):
+            # NaN != NaN would make equal runs compare unequal
+            return {k: (None if v != v else v) for k, v in d.items()}
+
+        return _key(self.__dict__) == _key(other.__dict__)
+
     def __repr__(self) -> str:
+        extra = ""
+        if self.dropped or self.retransmitted or self.rerouted:
+            extra = (
+                f", dropped={self.dropped}, retransmitted={self.retransmitted}, "
+                f"rerouted={self.rerouted}"
+            )
         return (
             f"SimStats(delivered={self.delivered}, undelivered={self.undelivered}, "
             f"mean_latency={self.mean_latency:.2f}, mean_hops={self.mean_hops:.2f}, "
-            f"throughput={self.throughput:.4f})"
+            f"throughput={self.throughput:.4f}{extra})"
         )

@@ -64,6 +64,40 @@ class TestCommands:
             main(["info", "not-a-net"])
 
 
+class TestFaultsCommand:
+    """`python -m repro faults` — Monte-Carlo resilience sweeps."""
+
+    def test_single_network_sweep(self, capsys):
+        args = ["faults", "--network", "hypercube", "--param", "n=3",
+                "--faults", "0,1", "--trials", "2", "--cycles", "15",
+                "--rate", "0.2"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "delivery_ratio" in out
+        assert "Q3" in out
+
+    def test_node_faults(self, capsys):
+        args = ["faults", "--network", "ring", "--param", "n=8",
+                "--faults", "1", "--kind", "node", "--trials", "2",
+                "--cycles", "10", "--rate", "0.2"]
+        assert main(args) == 0
+        assert "node" in capsys.readouterr().out
+
+    def test_bad_fault_counts_rejected(self):
+        with pytest.raises(SystemExit, match="comma-separated ints"):
+            main(["faults", "--network", "ring", "--param", "n=8",
+                  "--faults", "two"])
+
+    def test_faults_profile_prints_fault_counters(self, capsys):
+        args = ["faults", "--network", "ring", "--param", "n=16",
+                "--faults", "2", "--trials", "2", "--cycles", "20",
+                "--rate", "0.2", "--profile"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "-- timers --" in out
+        assert "sim.faults.drops" in out or "sim.faults.reroutes" in out
+
+
 class TestProfileFlags:
     """--profile / --trace on info, figure and summary (see repro.obs)."""
 

@@ -1,0 +1,230 @@
+"""Tests for fault models (FaultPlan/FaultTimeline) and the FaultyNetwork view."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import networks as nw
+from repro.fault import FaultEvent, FaultPlan, FaultyNetwork
+
+
+class TestFaultPlanBuilders:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert plan.compile(nw.ring(4)).empty
+
+    def test_chainable_builders(self):
+        plan = FaultPlan().fail_link(0, 1, 2).repair_link(5, 2, 1).fail_node(3, 0)
+        assert len(plan) == 3
+        assert not plan.is_empty
+        assert "1 node / 1 link failures" in repr(plan)
+
+    def test_link_endpoints_normalized(self):
+        plan = FaultPlan().fail_link(0, 3, 1)
+        assert plan.events[0].ident == (1, 3)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultPlan([FaultEvent(0, "router", 3)])
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError, match="action"):
+            FaultPlan([FaultEvent(0, "node", 3, "explode")])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultPlan().fail_node(-1, 0)
+
+
+class TestCompileValidation:
+    def test_node_out_of_range(self):
+        with pytest.raises(ValueError, match="node 99"):
+            FaultPlan().fail_node(0, 99).compile(nw.ring(8))
+
+    def test_link_not_an_edge(self):
+        with pytest.raises(ValueError, match=r"link \(0, 4\)"):
+            FaultPlan().fail_link(0, 0, 4).compile(nw.ring(8))
+
+    def test_valid_plan_compiles(self):
+        tl = FaultPlan().fail_link(2, 0, 1).fail_node(4, 5).compile(nw.ring(8))
+        assert not tl.empty
+        assert "1 nodes, 1 links" in repr(tl)
+
+
+class TestTimelineQueries:
+    def test_permanent_link_fault(self):
+        tl = FaultPlan().fail_link(10, 0, 1).compile(nw.ring(8))
+        assert tl.link_up_at(0, 1, 9)
+        assert not tl.link_up_at(0, 1, 10)
+        assert not tl.link_up_at(1, 0, 10_000)  # either orientation
+        assert tl.link_up_at(1, 2, 10)  # other links untouched
+
+    def test_transient_interval_is_half_open(self):
+        tl = FaultPlan().fail_link(10, 0, 1).repair_link(20, 0, 1).compile(nw.ring(8))
+        assert tl.link_up_at(0, 1, 9)
+        assert not tl.link_up_at(0, 1, 10)
+        assert not tl.link_up_at(0, 1, 19)
+        assert tl.link_up_at(0, 1, 20)
+
+    def test_node_intervals(self):
+        tl = FaultPlan().fail_node(5, 3).repair_node(8, 3).compile(nw.ring(8))
+        assert tl.node_up_at(3, 4)
+        assert not tl.node_up_at(3, 5)
+        assert tl.node_up_at(3, 8)
+        assert tl.node_up_at(2, 6)
+
+    def test_duplicate_fails_merge(self):
+        tl = (
+            FaultPlan()
+            .fail_node(5, 3)
+            .fail_node(7, 3)
+            .repair_node(9, 3)
+            .compile(nw.ring(8))
+        )
+        assert tl.node_down[3] == [(5, 9)]
+
+    def test_unmatched_repair_is_noop(self):
+        tl = FaultPlan().repair_node(5, 3).compile(nw.ring(8))
+        assert tl.node_up_at(3, 5)
+        assert tl.empty
+
+    def test_link_down_during_window(self):
+        tl = FaultPlan().fail_link(10, 0, 1).repair_link(20, 0, 1).compile(nw.ring(8))
+        # window [t0, t1): occupied 0..9 → safe; 5..15 → hit; 20..30 → safe
+        assert not tl.link_down_during(0, 1, 0, 9)
+        assert tl.link_down_during(0, 1, 5, 15)
+        assert tl.link_down_during(0, 1, 12, 14)
+        assert not tl.link_down_during(0, 1, 20, 30)
+        # fault starting exactly at the window end is not a hit
+        assert not tl.link_down_during(0, 1, 5, 10)
+
+    def test_epoch_advances_on_changes(self):
+        tl = FaultPlan().fail_link(10, 0, 1).repair_link(20, 0, 1).compile(nw.ring(8))
+        assert tl.epoch(9) == 0
+        assert tl.epoch(10) == 1
+        assert tl.epoch(19) == 1
+        assert tl.epoch(20) == 2
+
+    def test_dead_sets_at(self):
+        tl = (
+            FaultPlan()
+            .fail_node(0, 2)
+            .fail_link(5, 0, 1)
+            .repair_link(9, 0, 1)
+            .compile(nw.ring(8))
+        )
+        assert tl.dead_nodes_at(0) == {2}
+        assert tl.dead_links_at(0) == set()
+        assert tl.dead_links_at(6) == {(0, 1)}
+        assert tl.dead_links_at(9) == set()
+
+
+class TestRandomModels:
+    def test_random_link_faults_deterministic(self):
+        g = nw.hypercube(4)
+        p1 = FaultPlan.random_link_faults(g, 5, np.random.default_rng(3), horizon=50)
+        p2 = FaultPlan.random_link_faults(g, 5, np.random.default_rng(3), horizon=50)
+        assert p1.events == p2.events
+        assert sum(1 for e in p1.events if e.action == "fail") == 5
+
+    def test_random_link_faults_too_many(self):
+        with pytest.raises(ValueError, match="only"):
+            FaultPlan.random_link_faults(nw.ring(4), 5, np.random.default_rng(0))
+
+    def test_random_node_faults(self):
+        g = nw.ring(10)
+        plan = FaultPlan.random_node_faults(g, 3, np.random.default_rng(1), horizon=9)
+        nodes = {e.ident for e in plan.events}
+        assert len(nodes) == 3
+        assert all(0 <= e.t <= 9 for e in plan.events)
+        with pytest.raises(ValueError, match="every node"):
+            FaultPlan.random_node_faults(g, 10, np.random.default_rng(1))
+
+    def test_mttr_schedules_repairs(self):
+        g = nw.ring(10)
+        plan = FaultPlan.random_link_faults(
+            g, 4, np.random.default_rng(2), horizon=10, mttr=8
+        )
+        fails = [e for e in plan.events if e.action == "fail"]
+        repairs = [e for e in plan.events if e.action == "repair"]
+        assert len(fails) == len(repairs) == 4
+        tl = plan.compile(g)
+        assert all(b != math.inf for ivs in tl.link_down.values() for _, b in ivs)
+
+    def test_link_mtbf_renewal(self):
+        g = nw.ring(6)
+        plan = FaultPlan.link_mtbf(g, mtbf=40.0, horizon=200,
+                                   rng=np.random.default_rng(0), mttr=5)
+        assert not plan.is_empty
+        plan.compile(g)  # all sampled faults name real links
+        p2 = FaultPlan.link_mtbf(g, mtbf=40.0, horizon=200,
+                                 rng=np.random.default_rng(0), mttr=5)
+        assert plan.events == p2.events
+
+    def test_module_failures_correlated(self):
+        g = nw.hypercube(4)
+        module_of = np.arange(16) // 4  # 4 modules of 4
+        plan = FaultPlan.module_failures(g, module_of, 1, np.random.default_rng(0))
+        downs = sorted(e.ident for e in plan.events)
+        assert len(downs) == 4  # a whole module died together
+        assert len({module_of[v] for v in downs}) == 1
+        with pytest.raises(ValueError, match="every module"):
+            FaultPlan.module_failures(g, module_of, 4, np.random.default_rng(0))
+
+
+class TestFaultyNetwork:
+    def test_masking_preserves_ids(self):
+        g = nw.ring(8)
+        view = FaultyNetwork(g, dead_nodes=[3], dead_links=[(0, 1)])
+        assert view.num_nodes == 8
+        assert view.num_alive == 7
+        assert view.survivors() == [0, 1, 2, 4, 5, 6, 7]
+        assert not view.is_node_up(3)
+        assert view.is_node_up(4)
+
+    def test_link_liveness(self):
+        g = nw.ring(8)
+        view = FaultyNetwork(g, dead_nodes=[3], dead_links=[(0, 1)])
+        assert not view.is_link_up(0, 1)
+        assert not view.is_link_up(1, 0)
+        assert not view.is_link_up(2, 3)  # incident to a dead node
+        assert view.is_link_up(1, 2)
+
+    def test_alive_neighbors(self):
+        g = nw.ring(8)
+        view = FaultyNetwork(g, dead_nodes=[3], dead_links=[(0, 1)])
+        assert view.alive_neighbors(0) == [7]
+        assert view.alive_neighbors(2) == [1]
+        assert view.alive_neighbors(3) == []
+
+    def test_adjacency_masked(self):
+        g = nw.hypercube(3)
+        view = FaultyNetwork(g, dead_nodes=[0])
+        csr = view.adjacency_csr()
+        assert csr.indptr[1] - csr.indptr[0] == 0  # dead row empty
+        assert csr.nnz == g.adjacency_csr().nnz - 2 * 3  # both arc directions
+
+    def test_to_network_survivor_graph(self):
+        g = nw.ring(6)
+        view = FaultyNetwork(g, dead_links=[(0, 1)])
+        surv = view.to_network()
+        assert surv.num_nodes == 6  # ids stable
+        assert surv.num_edges() == 5
+        assert 1 not in surv.neighbors(0)
+
+    def test_snapshot_at_time(self):
+        g = nw.ring(8)
+        tl = FaultPlan().fail_node(5, 2).compile(g)
+        before = FaultyNetwork.at(g, tl, 4)
+        after = FaultyNetwork.at(g, tl, 5)
+        assert before.num_alive == 8
+        assert after.num_alive == 7
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            FaultyNetwork(nw.ring(4), dead_nodes=[9])
+        with pytest.raises(ValueError, match="out of range"):
+            FaultyNetwork(nw.ring(4), dead_links=[(0, 9)])

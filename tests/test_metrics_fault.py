@@ -1,0 +1,104 @@
+"""Tests for repro.metrics.fault.random_fault_experiment."""
+
+import numpy as np
+import pytest
+
+from repro import networks as nw
+from repro.metrics.distances import diameter
+from repro.metrics.fault import FaultReport, random_fault_experiment
+
+
+def _report_tuple(r: FaultReport):
+    return (
+        r.faults,
+        r.trials,
+        r.connected_fraction,
+        r.mean_largest_component,
+        r.mean_surviving_diameter,
+    )
+
+
+class TestSeededDeterminism:
+    def test_same_seed_same_report(self):
+        g = nw.hypercube(4)
+        r1 = random_fault_experiment(g, 3, 10, np.random.default_rng(42))
+        r2 = random_fault_experiment(g, 3, 10, np.random.default_rng(42))
+        assert _report_tuple(r1) == _report_tuple(r2)
+
+    def test_different_seeds_can_differ(self):
+        # ring(12) with 2 faults disconnects unless the faults are adjacent,
+        # so distinct seeds essentially always produce distinct fault sets
+        g = nw.ring(12)
+        reports = {
+            _report_tuple(random_fault_experiment(g, 2, 8, np.random.default_rng(s)))
+            for s in range(6)
+        }
+        assert len(reports) > 1
+
+
+class TestZeroFaultsNoop:
+    @pytest.mark.parametrize("builder,args", [
+        (nw.hypercube, (3,)),
+        (nw.ring, (10,)),
+        (nw.cube_connected_cycles, (3,)),
+    ])
+    def test_zero_faults_reports_intact_network(self, builder, args):
+        g = builder(*args)
+        r = random_fault_experiment(g, 0, 4, np.random.default_rng(0))
+        assert r.faults == 0
+        assert r.connected_fraction == 1.0
+        assert r.mean_largest_component == g.num_nodes
+        assert r.mean_surviving_diameter == diameter(g)
+
+
+class TestBruteForceAgreement:
+    def _survivor_stats(self, g, dead):
+        """BFS-based recomputation of component structure, no networkx."""
+        alive = [v for v in range(g.num_nodes) if v not in dead]
+        alive_set = set(alive)
+        seen: set[int] = set()
+        comps = []
+        for s in alive:
+            if s in seen:
+                continue
+            comp = {s}
+            frontier = [s]
+            while frontier:
+                nxt = []
+                for u in frontier:
+                    for v in g.neighbors(u):
+                        v = int(v)
+                        if v in alive_set and v not in comp:
+                            comp.add(v)
+                            nxt.append(v)
+                frontier = nxt
+            seen |= comp
+            comps.append(comp)
+        return len(comps), max(len(c) for c in comps)
+
+    @pytest.mark.parametrize("builder,args,faults", [
+        (nw.ring, (8,), 2),
+        (nw.hypercube, (3,), 2),
+        (nw.star_graph, (3,), 1),
+    ])
+    def test_connectivity_agrees_with_bruteforce(self, builder, args, faults):
+        g = builder(*args)
+        trials = 12
+        # replay the experiment's own fault draws with an identical rng
+        r = random_fault_experiment(g, faults, trials, np.random.default_rng(9))
+        rng = np.random.default_rng(9)
+        connected = 0
+        largest = []
+        for _ in range(trials):
+            dead = set(rng.choice(g.num_nodes, size=faults, replace=False).tolist())
+            ncomp, big = self._survivor_stats(g, dead)
+            connected += ncomp == 1
+            largest.append(big)
+        assert r.connected_fraction == connected / trials
+        assert r.mean_largest_component == pytest.approx(np.mean(largest))
+
+
+class TestValidation:
+    def test_faulting_every_node_rejected(self):
+        with pytest.raises(ValueError, match="every node"):
+            random_fault_experiment(nw.ring(4), 4, 1, np.random.default_rng(0))

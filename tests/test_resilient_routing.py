@@ -1,0 +1,159 @@
+"""Tests for the fault-aware ResilientRouter and the NextHopTable upgrades."""
+
+import numpy as np
+import pytest
+
+from repro import networks as nw
+from repro.core.network import Network, RoutingError
+from repro.fault import FaultPlan, ResilientRouter
+from repro.metrics.distances import bfs_distances
+from repro.routing.table import NextHopTable, shortest_path
+
+
+class TestNextHopTableUpgrades:
+    def test_disconnected_error_names_pair(self):
+        net = Network.from_edge_list([(i,) for i in range(4)], [(0, 1), (2, 3)])
+        with pytest.raises(RoutingError, match=r"node \d+ cannot reach node \d+"):
+            NextHopTable(net)
+
+    def test_isolated_node_error_names_node(self):
+        net = Network.from_edge_list([(i,) for i in range(3)], [(0, 1)])
+        with pytest.raises(RoutingError, match="node 2 is isolated"):
+            NextHopTable(net)
+
+    def test_allow_unreachable_marks_and_raises_on_query(self):
+        net = Network.from_edge_list([(i,) for i in range(4)], [(0, 1), (2, 3)])
+        table = NextHopTable(net, allow_unreachable=True, with_distances=True)
+        assert table.next_hop(0, 1) == 1  # within-component routing works
+        assert table.next_hop(2, 3) == 3
+        assert table.table[3, 0] == -1
+        with pytest.raises(RoutingError, match="node 0 to node 3"):
+            table.next_hop(0, 3)
+        with pytest.raises(RoutingError, match="different connected components"):
+            table.distance(0, 3)
+        assert table.next_hops(0, 3) == []
+
+    def test_allow_unreachable_with_isolated_node(self):
+        net = Network.from_edge_list([(i,) for i in range(3)], [(0, 1)])
+        table = NextHopTable(net, allow_unreachable=True)
+        assert table.next_hop(0, 1) == 1
+        with pytest.raises(RoutingError):
+            table.next_hop(2, 0)
+        with pytest.raises(RoutingError):
+            table.next_hop(0, 2)
+
+    def test_next_hops_all_minimal(self):
+        g = nw.hypercube(3)
+        table = NextHopTable(g, with_distances=True)
+        # 0 -> 7 is antipodal: every one of the 3 neighbors is minimal
+        assert table.next_hops(0, 7) == [1, 2, 4]
+        assert table.next_hops(0, 7)[0] == table.next_hop(0, 7)
+        # adjacent pair: single minimal hop
+        assert table.next_hops(0, 1) == [1]
+        assert table.next_hops(5, 5) == [5]
+
+    def test_distance_matches_bfs(self):
+        g = nw.cube_connected_cycles(3)
+        table = NextHopTable(g, with_distances=True)
+        d = bfs_distances(g, np.arange(g.num_nodes))
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            u, dst = rng.integers(0, g.num_nodes, 2)
+            assert table.distance(int(u), int(dst)) == d[dst, u]
+
+    def test_distance_requires_flag(self):
+        table = NextHopTable(nw.ring(6))
+        with pytest.raises(ValueError, match="with_distances"):
+            table.distance(0, 3)
+        with pytest.raises(ValueError, match="with_distances"):
+            table.next_hops(0, 3)
+
+    def test_shortest_path_disconnected_names_pair(self):
+        net = Network([(0,), (1,)], [0], [0])  # self-loop only
+        with pytest.raises(RoutingError, match="node 0 to node 1"):
+            shortest_path(net, 0, 1)
+
+
+class TestResilientRouter:
+    def _router(self, g, plan, **kw):
+        return ResilientRouter(g, plan.compile(g), **kw)
+
+    def test_healthy_primary(self):
+        g = nw.hypercube(3)
+        r = self._router(g, FaultPlan())
+        table = NextHopTable(g)
+        nxt, verdict, rest = r.route_next(0, 7, 0)
+        assert verdict == "primary"
+        assert nxt == table.next_hop(0, 7)
+        assert rest == ()
+        assert r.reroutes == r.deroutes == r.unreachable == 0
+
+    def test_alternate_minimal_hop(self):
+        g = nw.hypercube(3)
+        # 0 -> 7 has minimal hops {1, 2, 4}; kill the preferred one (1)
+        r = self._router(g, FaultPlan().fail_link(0, 0, 1))
+        nxt, verdict, _ = r.route_next(0, 7, 0)
+        assert verdict == "reroute"
+        assert nxt == 2
+        assert r.reroutes == 1
+
+    def test_dead_next_node_triggers_reroute(self):
+        g = nw.hypercube(3)
+        r = self._router(g, FaultPlan().fail_node(0, 1))
+        nxt, verdict, _ = r.route_next(0, 7, 0)
+        assert verdict == "reroute"
+        assert nxt == 2
+
+    def test_deroute_pins_survivor_path(self):
+        g = nw.hypercube(3)
+        # 0 -> 1: the only minimal hop is the direct link; kill it
+        r = self._router(g, FaultPlan().fail_link(0, 0, 1))
+        nxt, verdict, rest = r.route_next(0, 1, 0)
+        assert verdict == "deroute"
+        path = (0, nxt) + tuple(rest)
+        assert path[-1] == 1
+        assert len(path) >= 3  # genuine detour
+        for a, b in zip(path, path[1:]):  # every detour hop is a live edge
+            assert b in g.neighbors(a)
+            assert r.timeline.link_up_at(a, b, 0)
+        assert r.deroutes == 1
+
+    def test_faults_respect_time(self):
+        g = nw.hypercube(3)
+        r = self._router(g, FaultPlan().fail_link(10, 0, 1).repair_link(20, 0, 1))
+        assert r.route_next(0, 1, 5)[1] == "primary"
+        assert r.route_next(0, 1, 10)[1] == "deroute"
+        assert r.route_next(0, 1, 25)[1] == "primary"
+
+    def test_dead_destination_unreachable(self):
+        g = nw.hypercube(3)
+        r = self._router(g, FaultPlan().fail_node(0, 7))
+        nxt, verdict, _ = r.route_next(0, 7, 0)
+        assert (nxt, verdict) == (-1, "unreachable")
+        assert r.unreachable == 1
+
+    def test_cut_destination_unreachable(self):
+        r4 = nw.ring(4)
+        plan = FaultPlan().fail_link(0, 0, 1).fail_link(0, 1, 2)  # isolate node 1
+        r = self._router(r4, plan)
+        # node 0 sits at the cut: direct link dead, no survivor path exists
+        assert r.route_next(0, 1, 0)[1] == "unreachable"
+        assert r.unreachable == 1
+
+    def test_disjoint_fallback_can_be_disabled(self):
+        g = nw.hypercube(3)
+        r = self._router(g, FaultPlan().fail_link(0, 0, 1), use_disjoint=False)
+        assert r.route_next(0, 1, 0)[1] == "unreachable"
+
+    def test_table_without_distances_rejected(self):
+        g = nw.ring(6)
+        table = NextHopTable(g)
+        with pytest.raises(ValueError, match="with_distances"):
+            ResilientRouter(g, FaultPlan().compile(g), table=table)
+
+    def test_survivor_path_cache_by_epoch(self):
+        g = nw.hypercube(3)
+        r = self._router(g, FaultPlan().fail_link(0, 0, 1))
+        p1 = r._survivor_path(0, 1, 0)
+        p2 = r._survivor_path(0, 1, 0)
+        assert p1 is p2  # cached

@@ -36,11 +36,25 @@ class TestSimulatorBasics:
         stats = sim.run([(0, 0, 2)])
         assert stats.mean_latency == 6
 
-    def test_self_packets_ignored(self):
+    def test_self_packets_rejected(self):
         r = nw.ring(6)
         sim = PacketSimulator(r)
-        stats = sim.run([(0, 2, 2)])
-        assert stats.delivered == 0 and stats.undelivered == 0
+        with pytest.raises(ValueError, match="src == dst"):
+            sim.run([(0, 2, 2)])
+
+    def test_out_of_range_injection_rejected(self):
+        r = nw.ring(6)
+        sim = PacketSimulator(r)
+        with pytest.raises(ValueError, match=r"in \[0, 6\)"):
+            sim.run([(0, 0, 6)])
+        with pytest.raises(ValueError, match="injection #1"):
+            sim.run([(0, 0, 3), (0, -1, 2)])
+
+    def test_negative_injection_time_rejected(self):
+        r = nw.ring(6)
+        sim = PacketSimulator(r)
+        with pytest.raises(ValueError, match=">= 0"):
+            sim.run([(-1, 0, 3)])
 
     def test_fifo_contention(self):
         """Two packets sharing a channel: second waits for the first."""
