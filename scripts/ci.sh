@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full CI gate: tier-1 test suite + overhead budgets + example smoke tests.
+# Full CI gate: static analysis + tier-1 test suite + overhead budgets +
+# example smoke tests.
 #
 # Usage:  scripts/ci.sh
 set -euo pipefail
@@ -7,6 +8,32 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== static analysis: custom lint (repro.check) =="
+python -m repro.check lint src
+
+echo
+echo "== static analysis: paper-invariant contract sweep =="
+python -m repro.check contracts
+
+echo
+echo "== static analysis: ruff =="
+if command -v ruff > /dev/null 2>&1; then
+    ruff check src
+elif python -c "import ruff" > /dev/null 2>&1; then
+    python -m ruff check src
+else
+    echo "skipped (ruff not installed; pip install -e '.[test]')"
+fi
+
+echo
+echo "== static analysis: mypy (strict perimeter: core + networks) =="
+if python -c "import mypy" > /dev/null 2>&1; then
+    python -m mypy src/repro/core src/repro/networks
+else
+    echo "skipped (mypy not installed; pip install -e '.[test]')"
+fi
+
+echo
 echo "== tier-1 tests =="
 python -m pytest -x -q
 

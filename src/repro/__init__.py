@@ -15,7 +15,19 @@ Quick start::
     7
 """
 
-from . import algorithms, core, embed, fault, io, layout, metrics, networks, routing, sim
+from . import (
+    algorithms,
+    check,
+    core,
+    embed,
+    fault,
+    io,
+    layout,
+    metrics,
+    networks,
+    routing,
+    sim,
+)
 from .core import (
     BallArrangementGame,
     Generator,
@@ -33,6 +45,7 @@ __version__ = "1.0.0"
 __all__ = [
     "algorithms",
     "BallArrangementGame",
+    "check",
     "build_ip_graph",
     "build_super_ip_graph",
     "core",

@@ -8,6 +8,8 @@ Usage::
     python -m repro summary --size 256
     python -m repro faults --faults 0,1,2,4 --trials 3
     python -m repro faults --network hypercube --param n=4 --kind node
+    python -m repro check lint src
+    python -m repro check contracts
 
 ``info``, ``figure``, ``summary`` and ``faults`` accept ``--profile``
 (print a timing/counter table after the command) and ``--trace FILE``
@@ -136,6 +138,13 @@ def cmd_figure(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["check"]:
+        # static-analysis layer has its own parser (repro.check.__main__)
+        from repro.check.__main__ import main as check_main
+
+        return check_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro", description="Index-permutation graph model toolkit"
     )
@@ -195,6 +204,11 @@ def main(argv: list[str] | None = None) -> int:
     p_flt.add_argument("--rate", type=float, default=0.05)
     p_flt.add_argument("--cycles", type=int, default=60)
     p_flt.add_argument("--seed", type=int, default=0)
+
+    # listed for --help only; real dispatch happens before parsing above
+    sub.add_parser(
+        "check", help="static analysis: custom lint + paper-invariant contracts"
+    )
 
     args = parser.parse_args(argv)
     cmd = {

@@ -27,6 +27,7 @@ __all__ = [
     "broadcast_schedule",
     "reduce_schedule",
     "all_to_all_personalized_lower_bound",
+    "schedule_makespan",
     "schedule_traffic_split",
 ]
 

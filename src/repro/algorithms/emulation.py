@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.embed.hsn_embeddings import hypercube_into_hsn
 
-__all__ = ["HypercubeEmulator", "ascend_sum"]
+__all__ = ["HypercubeEmulator", "ascend_sum", "bitonic_sort"]
 
 
 class HypercubeEmulator:

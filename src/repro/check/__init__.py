@@ -1,0 +1,33 @@
+"""Static analysis for the repro codebase: custom lint + paper contracts.
+
+Two layers over one findings/report model:
+
+* :mod:`repro.check.lint` — repo-specific AST linter (rules RPR001–
+  RPR005, ``# repro: noqa[CODE]`` suppression);
+* :mod:`repro.check.invariants` — paper-invariant contract checker
+  (CTR001–CTR008) sweeping every registry family at small parameters.
+
+Run both from the command line::
+
+    python -m repro.check lint src
+    python -m repro.check contracts
+
+or as ``python -m repro check ...``.  See DESIGN.md for the rule catalog.
+"""
+
+from .findings import Finding, Report
+from .invariants import FAMILY_SPECS, FamilySpec, check_family, check_network, run_contracts
+from .lint import RULES, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "Report",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "FamilySpec",
+    "FAMILY_SPECS",
+    "check_family",
+    "check_network",
+    "run_contracts",
+]

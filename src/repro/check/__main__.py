@@ -1,0 +1,77 @@
+"""CLI for the static-analysis subsystem.
+
+Usage::
+
+    python -m repro.check lint [PATH ...]        # default: src
+    python -m repro.check contracts [--family NAME ...]
+
+Exit status is 0 when clean, 1 when any finding is reported — suitable
+for CI gates (see ``scripts/ci.sh``).  Both subcommands accept
+``--profile`` to print the obs counter/timer table afterwards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.check`` argument parser (reused by ``repro check``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.check",
+        description="custom lint + paper-invariant contract checks",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_lint = sub.add_parser("lint", help="run the RPR custom linter")
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories to lint (default: src)"
+    )
+    p_lint.add_argument("--profile", action="store_true", help="print obs counters after")
+
+    p_con = sub.add_parser("contracts", help="run the paper-invariant contract sweep")
+    p_con.add_argument(
+        "--family",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="restrict to the named registry family (repeatable; default: all)",
+    )
+    p_con.add_argument("--profile", action="store_true", help="print obs counters after")
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed ``lint``/``contracts`` invocation."""
+    from repro import obs
+
+    if args.profile:
+        obs.reset()
+        obs.enable()
+    try:
+        if args.cmd == "lint":
+            from .lint import lint_paths
+
+            report = lint_paths(args.paths)
+        else:
+            from .invariants import run_contracts
+
+            report = run_contracts(args.family or None)
+        print(report.render())
+        if args.profile:
+            print()
+            print(obs.format_report())
+    finally:
+        if args.profile:
+            obs.disable()
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.check``."""
+    return run(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

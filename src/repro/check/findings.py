@@ -1,0 +1,92 @@
+"""Shared findings/report model for the static-analysis layers.
+
+Both the AST linter (:mod:`repro.check.lint`) and the paper-invariant
+contract checker (:mod:`repro.check.invariants`) emit :class:`Finding`
+records and collect them into a :class:`Report`, so CLI rendering, exit
+codes, and obs accounting are identical for the two layers.
+
+A finding is ``location: CODE message`` where the location is a
+``file:line`` pair for lint findings and a family/instance string (e.g.
+``hsn(l=2, n=1)``) for contract findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "Report"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation: a stable rule code, a location, and a message.
+
+    Attributes
+    ----------
+    path:
+        Source file (lint) or family/instance descriptor (contracts).
+    line:
+        1-based source line for lint findings; 0 when not applicable.
+    code:
+        Stable rule code (``RPR001``.. for lint, ``CTR001``.. for
+        contracts).  Codes are append-only: never renumber.
+    message:
+        Human-readable description with enough context to act on.
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """``file:line: CODE message`` (line omitted when 0)."""
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: {self.code} {self.message}"
+
+
+@dataclass
+class Report:
+    """A batch of findings plus how much ground the run covered.
+
+    ``checked`` counts units inspected (files for lint, contract
+    assertions for the invariant sweep) so an empty findings list can be
+    distinguished from a run that inspected nothing.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True iff no findings were recorded."""
+        return not self.findings
+
+    def add(self, finding: Finding) -> None:
+        """Record one finding."""
+        self.findings.append(finding)
+
+    def extend(self, other: "Report") -> None:
+        """Merge another report into this one."""
+        self.findings.extend(other.findings)
+        self.checked += other.checked
+
+    def counts_by_code(self) -> dict[str, int]:
+        """Mapping rule code -> number of findings, sorted by code."""
+        out: dict[str, int] = {}
+        for f in sorted(self.findings):
+            out[f.code] = out.get(f.code, 0) + 1
+        return out
+
+    def render(self) -> str:
+        """One line per finding (sorted), plus a summary trailer."""
+        lines = [f.render() for f in sorted(self.findings)]
+        n = len(self.findings)
+        if n:
+            per_code = ", ".join(
+                f"{code}×{cnt}" for code, cnt in self.counts_by_code().items()
+            )
+            lines.append(f"{n} finding{'s' if n != 1 else ''} ({per_code})")
+        else:
+            lines.append(f"clean ({self.checked} checks)")
+        return "\n".join(lines)

@@ -41,7 +41,9 @@ class BallArrangementGame:
         :class:`~repro.core.ipgraph.Generator` objects.
     """
 
-    def __init__(self, balls: Sequence[Hashable], moves: Iterable[Generator | Permutation]):
+    def __init__(
+        self, balls: Sequence[Hashable], moves: Iterable[Generator | Permutation]
+    ) -> None:
         self.start: Config = tuple(balls)
         self.moves: list[Generator] = [
             m if isinstance(m, Generator) else Generator(m) for m in moves
@@ -153,7 +155,13 @@ def solve_bidirectional(
     return None
 
 
-def _expand(queue, this_side, other_side, perms, max_states):
+def _expand(
+    queue: deque[Config],
+    this_side: dict[Config, tuple[Config, int]],
+    other_side: dict[Config, tuple[Config, int]],
+    perms: Sequence[Permutation],
+    max_states: int,
+) -> Config | None:
     for _ in range(len(queue)):
         cur = queue.popleft()
         for mi, p in enumerate(perms):
@@ -169,7 +177,9 @@ def _expand(queue, this_side, other_side, perms, max_states):
     return None
 
 
-def _walk_back(parent, start, goal):
+def _walk_back(
+    parent: dict[Config, tuple[Config, int]], start: Config, goal: Config
+) -> list[int]:
     seq: list[int] = []
     cur = goal
     while cur != start:
@@ -179,7 +189,13 @@ def _walk_back(parent, start, goal):
     return seq
 
 
-def _join(fwd, bwd, start, goal, meet):
+def _join(
+    fwd: dict[Config, tuple[Config, int]],
+    bwd: dict[Config, tuple[Config, int]],
+    start: Config,
+    goal: Config,
+    meet: Config,
+) -> list[int]:
     head = _walk_back(fwd, start, meet)
     # backward side stored parents towards goal using *inverse* moves; walking
     # from meet to goal we must emit the forward move indices in order.

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import itertools
 from collections.abc import Iterable, Sequence
-from typing import TypeVar
+from typing import TYPE_CHECKING, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    import numpy as np
 
 __all__ = [
     "Permutation",
@@ -59,7 +62,7 @@ class Permutation:
 
     __slots__ = ("_img", "_hash")
 
-    def __init__(self, img: Sequence[int]):
+    def __init__(self, img: Sequence[int]) -> None:
         img_t = tuple(int(i) for i in img)
         k = len(img_t)
         seen = [False] * k
@@ -316,7 +319,7 @@ def lift_to_block(p: Permutation, l: int, m: int, block: int = 0) -> Permutation
     return Permutation(img)
 
 
-def random_permutation(k: int, rng) -> Permutation:
+def random_permutation(k: int, rng: "np.random.Generator") -> Permutation:
     """A uniformly random permutation of ``k`` positions.
 
     Parameters

@@ -13,7 +13,7 @@ meaningful node labels (bit tuples, digit tuples, permutations, ...).
 from __future__ import annotations
 
 import itertools
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -184,7 +184,9 @@ def petersen() -> Network:
 # ----------------------------------------------------------------------
 # permutation networks
 # ----------------------------------------------------------------------
-def _permutation_network(n: int, moves, name: str) -> Network:
+def _permutation_network(
+    n: int, moves: Sequence[Callable[[tuple], tuple]], name: str
+) -> Network:
     labels = list(itertools.permutations(range(n)))
     index = {lab: i for i, lab in enumerate(labels)}
     edges = []
@@ -199,8 +201,8 @@ def star_graph(n: int) -> Network:
     if n < 2:
         raise ValueError("star graph needs n >= 2")
 
-    def swap(i):
-        def mv(lab):
+    def swap(i: int) -> Callable[[tuple], tuple]:
+        def mv(lab: tuple) -> tuple:
             out = list(lab)
             out[0], out[i] = out[i], out[0]
             return tuple(out)
@@ -215,8 +217,8 @@ def pancake_graph(n: int) -> Network:
     if n < 2:
         raise ValueError("pancake graph needs n >= 2")
 
-    def flip(i):
-        def mv(lab):
+    def flip(i: int) -> Callable[[tuple], tuple]:
+        def mv(lab: tuple) -> tuple:
             return tuple(reversed(lab[:i])) + lab[i:]
 
         return mv
@@ -229,8 +231,8 @@ def bubble_sort_graph(n: int) -> Network:
     if n < 2:
         raise ValueError("bubble-sort graph needs n >= 2")
 
-    def swap(i):
-        def mv(lab):
+    def swap(i: int) -> Callable[[tuple], tuple]:
+        def mv(lab: tuple) -> tuple:
             out = list(lab)
             out[i], out[i + 1] = out[i + 1], out[i]
             return tuple(out)

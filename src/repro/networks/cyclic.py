@@ -31,7 +31,14 @@ __all__ = [
 ]
 
 
-def _build(nucleus, sgs, symmetric, max_nodes, name, directed=False):
+def _build(
+    nucleus: NucleusSpec | Network,
+    sgs: SuperGeneratorSet,
+    symmetric: bool,
+    max_nodes: int,
+    name: str,
+    directed: bool = False,
+) -> IPGraph | Network:
     if isinstance(nucleus, NucleusSpec):
         return build_super_ip_graph(
             nucleus, sgs, symmetric=symmetric, max_nodes=max_nodes, name=name,

@@ -65,7 +65,7 @@ def qcn(l: int, n: int, merge_bits: int, max_nodes: int = 2_000_000) -> Network:
     m = 2 * n  # nucleus labels use the 2-symbols-per-bit encoding
     keep = m - 2 * merge_bits  # drop the trailing merge_bits bit-pairs
 
-    def key(label):
+    def key(label: tuple) -> tuple:
         blocks = [label[b * m : (b + 1) * m] for b in range(l)]
         return (blocks[0][:keep],) + tuple(blocks[1:])
 

@@ -6,7 +6,7 @@ string spec, e.g. ``build("hsn", l=2, n=3)`` or ``build("hypercube", n=6)``.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 from repro.core.network import Network
 
@@ -49,23 +49,23 @@ from .superflip import super_flip
 __all__ = ["REGISTRY", "build", "available"]
 
 
-def _hsn(l: int, n: int, symmetric: bool = False, **kw) -> Network:
+def _hsn(l: int, n: int, symmetric: bool = False, **kw: object) -> Network:
     return hsn(l, hypercube_nucleus(n), symmetric=symmetric, **kw)
 
 
-def _ring_cn(l: int, n: int, symmetric: bool = False, **kw) -> Network:
+def _ring_cn(l: int, n: int, symmetric: bool = False, **kw: object) -> Network:
     return ring_cn(l, hypercube_nucleus(n), symmetric=symmetric, **kw)
 
 
-def _complete_cn(l: int, n: int, symmetric: bool = False, **kw) -> Network:
+def _complete_cn(l: int, n: int, symmetric: bool = False, **kw: object) -> Network:
     return complete_cn(l, hypercube_nucleus(n), symmetric=symmetric, **kw)
 
 
-def _super_flip(l: int, n: int, symmetric: bool = False, **kw) -> Network:
+def _super_flip(l: int, n: int, symmetric: bool = False, **kw: object) -> Network:
     return super_flip(l, hypercube_nucleus(n), symmetric=symmetric, **kw)
 
 
-def _rhsn(levels, n: int = 1, **kw) -> Network:
+def _rhsn(levels: int | Sequence[int], n: int = 1, **kw: object) -> Network:
     if isinstance(levels, int):
         levels = [levels]
     return rhsn(list(levels), hypercube_nucleus(n), **kw)
@@ -118,7 +118,7 @@ REGISTRY: dict[str, Callable[..., Network]] = {
 }
 
 
-def build(name: str, **params) -> Network:
+def build(name: str, **params: object) -> Network:
     """Build a registered network family by name."""
     try:
         factory = REGISTRY[name]
