@@ -1,0 +1,233 @@
+"""Budgets for the parallel/cache layer (``repro.parallel`` + ``repro.cache``).
+
+Two gates, both asserted (the script exits non-zero on regression):
+
+1. **Serial-path overhead < 3%.**  ``fault_sweep(jobs=1)`` must stay within
+   3% of a verbatim copy of the pre-refactor serial sweep kept below as the
+   baseline — opting nobody into the task-list restructure's cost.
+   Methodology mirrors ``bench_obs_overhead.py``: paired back-to-back runs
+   with alternating order, GC parked during timing, median of per-round
+   ratios.
+
+2. **Warm-cache registry rebuild ≥ 5× faster than cold.**  Rebuilding the
+   contract-sweep registry families at sweep-scale parameters from a warm
+   artifact cache must be at least 5× faster than building from scratch.
+   (At the *tiny* contract-spec parameters the fixed ``.npz`` open cost
+   exceeds the build itself — which is exactly why ``ArtifactCache``
+   skips networks below ``min_nodes``; the table prints both regimes.)
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_sweep.py
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro import cache, networks as nw
+from repro.cache.memory import clear_memory_caches
+from repro.fault.sweep import _sample_plan, fault_sweep
+from repro.sim.simulator import PacketSimulator
+from repro.sim.workloads import uniform_random
+
+OVERHEAD_THRESHOLD = 0.03
+SPEEDUP_THRESHOLD = 5.0
+ROUNDS = 41  # many short paired rounds: the median converges despite jitter
+FAULT_COUNTS = [0, 2]
+TRIALS = 2
+CYCLES = 40
+
+#: contract-sweep registry families at the sizes the experiment layers
+#: actually rebuild (Fig. 3–5 sweeps), where closure computation dominates
+SWEEP_SCALE = [
+    ("hsn", {"l": 3, "n": 4}),
+    ("ring_cn", {"l": 3, "n": 4}),
+    ("complete_cn", {"l": 3, "n": 4}),
+    ("super_flip", {"l": 3, "n": 4}),
+    ("hcn", {"n": 5}),
+    ("macro_star", {"l": 2, "n": 3}),
+    ("star_ip", {"n": 7}),
+    ("pancake_ip", {"n": 7}),
+]
+
+
+# ----------------------------------------------------------------------
+# gate 1: serial-path overhead of the task-list fault_sweep
+# ----------------------------------------------------------------------
+def _baseline_fault_sweep(net, fault_counts, trials, *, kind="link", rate=0.05,
+                          cycles=60, seed=0, delays=1, max_cycles_factor=50,
+                          retransmit_timeout=16, max_retries=4):
+    """The fault sweep exactly as it was before the run_tasks refactor."""
+    rows = []
+    baseline_latency = None
+    counts = sorted(set(int(f) for f in fault_counts))
+    for faults in counts:
+        ratios, latencies, drops, retx, reroutes = [], [], [], [], []
+        for trial in range(trials):
+            workload_rng = np.random.default_rng([seed, 1_000_003, trial])
+            injections = uniform_random(net, rate, cycles, workload_rng)
+            if not injections:
+                continue
+            plan = None
+            if faults:
+                fault_rng = np.random.default_rng([seed, faults, trial])
+                plan = _sample_plan(net, kind, faults, cycles, fault_rng)
+            sim = PacketSimulator(
+                net,
+                delays=delays,
+                faults=plan,
+                retransmit_timeout=retransmit_timeout,
+                max_retries=max_retries,
+            )
+            stats = sim.run(injections, max_cycles=cycles * max_cycles_factor)
+            ratios.append(stats.delivery_ratio)
+            if stats.delivered:
+                latencies.append(stats.mean_latency)
+            drops.append(stats.dropped)
+            retx.append(stats.retransmitted)
+            reroutes.append(stats.rerouted)
+        mean_latency = float(np.mean(latencies)) if latencies else float("nan")
+        if faults == 0 and latencies:
+            baseline_latency = mean_latency
+        rows.append(
+            {
+                "network": net.name,
+                "faults": faults,
+                "kind": kind,
+                "trials": trials,
+                "delivery_ratio": float(np.mean(ratios)) if ratios else float("nan"),
+                "mean_latency": mean_latency,
+                "latency_dilation": (
+                    mean_latency / baseline_latency
+                    if baseline_latency
+                    else float("nan")
+                ),
+                "dropped": float(np.mean(drops)) if drops else 0.0,
+                "retransmitted": float(np.mean(retx)) if retx else 0.0,
+                "rerouted": float(np.mean(reroutes)) if reroutes else 0.0,
+            }
+        )
+    return rows
+
+
+def bench_serial_overhead() -> float:
+    net = nw.hypercube(5)
+    kw = dict(trials=TRIALS, cycles=CYCLES, seed=0)
+
+    def run_new():
+        return fault_sweep(net, FAULT_COUNTS, jobs=1, **kw)
+
+    def run_old():
+        return _baseline_fault_sweep(net, FAULT_COUNTS, **kw)
+
+    assert run_new() == run_old(), "refactored sweep changed the numbers"
+
+    ratios = []
+    gc.disable()
+    try:
+        for r in range(ROUNDS):
+            if r % 2 == 0:
+                t0 = time.perf_counter(); run_old(); t_old = time.perf_counter() - t0
+                t0 = time.perf_counter(); run_new(); t_new = time.perf_counter() - t0
+            else:
+                t0 = time.perf_counter(); run_new(); t_new = time.perf_counter() - t0
+                t0 = time.perf_counter(); run_old(); t_old = time.perf_counter() - t0
+            ratios.append(t_new / t_old)
+    finally:
+        gc.enable()
+    # each round's runs are back-to-back, so common-mode CPU jitter cancels
+    # within a pair; the median over many short rounds rejects the spikes
+    overhead = statistics.median(ratios) - 1.0
+    print(f"serial-path overhead (jobs=1 vs pre-refactor sweep, median of "
+          f"{ROUNDS} paired rounds): {overhead * 100:+.2f}%  "
+          f"(budget <{OVERHEAD_THRESHOLD * 100:.0f}%)")
+    return overhead
+
+
+# ----------------------------------------------------------------------
+# gate 2: cold vs warm registry rebuild through the artifact cache
+# ----------------------------------------------------------------------
+def _build_set(items) -> float:
+    t0 = time.perf_counter()
+    for name, params in items:
+        nw.build(name, **params)
+    return time.perf_counter() - t0
+
+
+def bench_cache_speedup() -> float:
+    print(f"\n{'family':<14} {'params':<22} {'N':>6} {'cold ms':>8} "
+          f"{'warm ms':>8} {'ratio':>6}")
+    total_cold = total_warm = 0.0
+    with tempfile.TemporaryDirectory() as d:
+        cache.configure(d, min_nodes=64)
+        try:
+            for name, params in SWEEP_SCALE:
+                clear_memory_caches()
+                t0 = time.perf_counter()
+                g = nw.build(name, **params)
+                cold = time.perf_counter() - t0
+                warm = min(
+                    (clear_memory_caches(), _build_set([(name, params)]))[1]
+                    for _ in range(3)
+                )
+                total_cold += cold
+                total_warm += warm
+                print(f"{name:<14} {str(params):<22} {g.num_nodes:>6} "
+                      f"{cold * 1e3:>8.1f} {warm * 1e3:>8.1f} "
+                      f"{cold / warm:>5.1f}x")
+        finally:
+            cache.set_cache(None)
+    speedup = total_cold / total_warm
+    print(f"{'TOTAL':<14} {'':<22} {'':>6} {total_cold * 1e3:>8.1f} "
+          f"{total_warm * 1e3:>8.1f} {speedup:>5.1f}x   "
+          f"(budget >={SPEEDUP_THRESHOLD:.0f}x)")
+    return speedup
+
+
+def bench_tiny_regime() -> None:
+    """Show why ArtifactCache skips tiny networks (informational)."""
+    from repro.check.invariants import FAMILY_SPECS
+
+    items = [(name, spec.params) for name, spec in FAMILY_SPECS.items()]
+    cache.set_cache(None)
+    clear_memory_caches()
+    cold = _build_set(items)
+    with tempfile.TemporaryDirectory() as d:
+        cache.configure(d, min_nodes=1)  # force-cache everything
+        try:
+            clear_memory_caches(); _build_set(items)  # prime
+            clear_memory_caches()
+            warm = _build_set(items)
+        finally:
+            cache.set_cache(None)
+    print(f"\ntiny contract-spec instances ({len(items)} families, forced "
+          f"min_nodes=1): cold {cold * 1e3:.1f}ms, warm {warm * 1e3:.1f}ms — "
+          f"npz overhead dominates, hence the default min_nodes=64 skip")
+
+
+def main() -> int:
+    overhead = bench_serial_overhead()
+    speedup = bench_cache_speedup()
+    bench_tiny_regime()
+    ok = True
+    if overhead >= OVERHEAD_THRESHOLD:
+        print(f"FAIL: serial-path overhead {overhead * 100:.2f}% exceeds "
+              f"{OVERHEAD_THRESHOLD * 100:.0f}% budget")
+        ok = False
+    if speedup < SPEEDUP_THRESHOLD:
+        print(f"FAIL: warm-cache rebuild speedup {speedup:.1f}x below "
+              f"{SPEEDUP_THRESHOLD:.0f}x budget")
+        ok = False
+    print("OK" if ok else "REGRESSION")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

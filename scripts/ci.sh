@@ -51,4 +51,34 @@ python examples/fault_tolerance.py > /dev/null
 echo "OK"
 
 echo
+echo "== parallel/cache layer budgets (serial <3%, warm rebuild >=5x) =="
+python benchmarks/bench_parallel_sweep.py
+
+echo
+echo "== cache determinism: same sweep twice, warm hit + identical JSON =="
+python - <<'PYEOF'
+import json, tempfile
+from repro import cache, networks, obs
+from repro.fault.sweep import fault_sweep
+
+with tempfile.TemporaryDirectory() as d:
+    cache.configure(d)
+    obs.reset(); obs.enable()
+    g1 = networks.build("hsn", l=2, n=3)  # 64 nodes: cold build + store
+    run1 = json.dumps(fault_sweep(g1, [0, 2], trials=2, cycles=40, jobs=1))
+    c1 = obs.report()["counters"]
+    assert c1.get("cache.miss", 0) >= 1 and c1.get("cache.store", 0) >= 1, c1
+    obs.reset()
+    g2 = networks.build("hsn", l=2, n=3)  # warm: loaded from the cache
+    run2 = json.dumps(fault_sweep(g2, [0, 2], trials=2, cycles=40, jobs=2))
+    c2 = obs.report()["counters"]
+    assert c2.get("cache.hit", 0) >= 1, c2
+    assert run1 == run2, "cached + parallel sweep diverged from cold serial run"
+    obs.disable(); obs.reset()
+    cache.set_cache(None)
+print("cache hit on rerun; cold-serial and warm-parallel JSON identical")
+PYEOF
+echo "OK"
+
+echo
 echo "CI OK"

@@ -17,6 +17,7 @@ Quick start::
 
 from . import (
     algorithms,
+    cache,
     check,
     core,
     embed,
@@ -25,6 +26,7 @@ from . import (
     layout,
     metrics,
     networks,
+    parallel,
     routing,
     sim,
 )
@@ -45,6 +47,7 @@ __version__ = "1.0.0"
 __all__ = [
     "algorithms",
     "BallArrangementGame",
+    "cache",
     "check",
     "build_ip_graph",
     "build_super_ip_graph",
@@ -58,6 +61,7 @@ __all__ = [
     "metrics",
     "Network",
     "networks",
+    "parallel",
     "routing",
     "sim",
     "NucleusSpec",

@@ -6,14 +6,19 @@ Usage::
     python -m repro info hsn --param l=2 --param n=3 [--modules nucleus]
     python -m repro figure 2|3|4|5|53
     python -m repro summary --size 256
-    python -m repro faults --faults 0,1,2,4 --trials 3
+    python -m repro faults --faults 0,1,2,4 --trials 3 --jobs 4
     python -m repro faults --network hypercube --param n=4 --kind node
+    python -m repro cache info
+    python -m repro cache clear --cache-dir ~/.cache/repro
     python -m repro check lint src
-    python -m repro check contracts
+    python -m repro check contracts --jobs 0
 
 ``info``, ``figure``, ``summary`` and ``faults`` accept ``--profile``
 (print a timing/counter table after the command) and ``--trace FILE``
-(write the JSONL span trace of the run); see :mod:`repro.obs`.
+(write the JSONL span trace of the run); see :mod:`repro.obs`.  They also
+accept ``--jobs N`` (process-pool fan-out, ``0`` = all cores, bit-identical
+to serial) and ``--cache-dir DIR`` (persistent graph/table artifact cache;
+see :mod:`repro.cache`).
 """
 
 from __future__ import annotations
@@ -80,7 +85,7 @@ def cmd_info(args) -> int:
 def cmd_summary(args) -> int:
     from repro.analysis import grand_comparison, render_table
 
-    rows = grand_comparison(args.size, module_cap=args.module_cap)
+    rows = grand_comparison(args.size, module_cap=args.module_cap, jobs=args.jobs)
     print(render_table(rows))
     return 0
 
@@ -100,6 +105,7 @@ def cmd_faults(args) -> int:
         rate=args.rate,
         cycles=args.cycles,
         seed=args.seed,
+        jobs=args.jobs,
     )
     if args.network is not None:
         g = build(args.network, **_parse_params(args.param))
@@ -130,10 +136,27 @@ def cmd_figure(args) -> int:
     elif fig == "5":
         rows = fig5_ii_cost(args.max_log2)
     elif fig == "53":
-        rows = sec53_offmodule_table()
+        # the only figure that builds graphs — the closed-form figures
+        # (2–5) have nothing to fan out
+        rows = sec53_offmodule_table(jobs=args.jobs)
     else:
         raise SystemExit(f"unknown figure {fig!r}; choose 2, 3, 4, 5 or 53")
     print(render_table(rows))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro import cache
+
+    store = cache.configure(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached artifact(s) from {store.root}")
+        return 0
+    entries = store.entries()
+    print(f"cache dir: {store.root}")
+    print(f"entries:   {len(entries)}")
+    print(f"bytes:     {store.size_bytes()}")
     return 0
 
 
@@ -163,10 +186,29 @@ def main(argv: list[str] | None = None) -> int:
         help="write a JSONL trace of spans/events to FILE",
     )
 
+    tuned = argparse.ArgumentParser(add_help=False)
+    tuned.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweeps (0 = all cores; results are "
+        "bit-identical to --jobs 1)",
+    )
+    tuned.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the persistent graph/table artifact cache rooted at DIR "
+        "(see repro.cache; $REPRO_CACHE_DIR also works)",
+    )
+
     sub.add_parser("list", help="list registered network families")
 
     p_info = sub.add_parser(
-        "info", help="build a network and print its metrics", parents=[profiled]
+        "info",
+        help="build a network and print its metrics",
+        parents=[profiled, tuned],
     )
     p_info.add_argument("network", help="registry name (see `repro list`)")
     p_info.add_argument("--param", action="append", default=[], metavar="K=V")
@@ -174,13 +216,17 @@ def main(argv: list[str] | None = None) -> int:
     p_info.add_argument("--max-metric-nodes", type=int, default=20000)
 
     p_fig = sub.add_parser(
-        "figure", help="regenerate a paper figure/table", parents=[profiled]
+        "figure",
+        help="regenerate a paper figure/table",
+        parents=[profiled, tuned],
     )
     p_fig.add_argument("id", help="2, 3, 4, 5 or 53 (Section 5.3 table)")
     p_fig.add_argument("--max-log2", type=int, default=20)
 
     p_sum = sub.add_parser(
-        "summary", help="grand comparison of every family", parents=[profiled]
+        "summary",
+        help="grand comparison of every family",
+        parents=[profiled, tuned],
     )
     p_sum.add_argument("--size", type=int, default=256)
     p_sum.add_argument("--module-cap", type=int, default=16)
@@ -188,7 +234,7 @@ def main(argv: list[str] | None = None) -> int:
     p_flt = sub.add_parser(
         "faults",
         help="Monte-Carlo resilience sweep (delivery ratio vs fault count)",
-        parents=[profiled],
+        parents=[profiled, tuned],
     )
     p_flt.add_argument(
         "--network",
@@ -205,6 +251,17 @@ def main(argv: list[str] | None = None) -> int:
     p_flt.add_argument("--cycles", type=int, default=60)
     p_flt.add_argument("--seed", type=int, default=0)
 
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache"
+    )
+    p_cache.add_argument("action", choices=["info", "clear"])
+    p_cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
     # listed for --help only; real dispatch happens before parsing above
     sub.add_parser(
         "check", help="static analysis: custom lint + paper-invariant contracts"
@@ -217,7 +274,13 @@ def main(argv: list[str] | None = None) -> int:
         "figure": cmd_figure,
         "summary": cmd_summary,
         "faults": cmd_faults,
+        "cache": cmd_cache,
     }[args.cmd]
+
+    if args.cmd != "cache" and getattr(args, "cache_dir", None) is not None:
+        from repro import cache
+
+        cache.configure(args.cache_dir)
 
     profile = getattr(args, "profile", False)
     trace = getattr(args, "trace", None)

@@ -270,54 +270,77 @@ def fig5_ii_cost(max_log2: int = 24) -> list[dict]:
 # ----------------------------------------------------------------------
 # §5.3 — off-module links per node
 # ----------------------------------------------------------------------
-def sec53_offmodule_table(max_nodes: int = 70_000) -> list[dict]:
+def _offmodule_case(_ctx: None, spec: tuple) -> dict:
+    """Build + measure one Section-5.3 row (module-level for pool pickling).
+
+    ``spec`` is ``(family, *params)``; everything non-trivial (graph,
+    module assignment) is constructed inside the worker so only the small
+    spec tuple crosses the process boundary.
+    """
+    from repro import metrics as mt
+    from repro import networks as nw
+
+    family = spec[0]
+    if family == "ring_cn":
+        l = spec[1]
+        net = nw.ring_cn_hypercube(l, 2)
+        name, ma, expected = f"ring-CN({l},Q2)", mt.nucleus_modules(net), 1 if l == 2 else 2
+    elif family == "hsn":
+        l = spec[1]
+        net = nw.hsn_hypercube(l, 2)
+        name, ma, expected = f"HSN({l},Q2)", mt.nucleus_modules(net), l - 1
+    elif family == "complete_cn":
+        l = spec[1]
+        net = nw.complete_cn(l, nw.hypercube_nucleus(2))
+        name, ma, expected = f"complete-CN({l},Q2)", mt.nucleus_modules(net), l - 1
+    elif family == "super_flip":
+        l = spec[1]
+        net = nw.super_flip(l, nw.hypercube_nucleus(2))
+        name, ma, expected = f"super-flip({l},Q2)", mt.nucleus_modules(net), l - 1
+    elif family == "hypercube":
+        n, c = spec[1], spec[2]
+        net = nw.hypercube(n)
+        name, ma, expected = f"Q{n} (Q{c} modules)", mt.subcube_modules(net, c), n - c
+    elif family == "star":
+        n, k = spec[1], spec[2]
+        net = nw.star_graph(n)
+        ma = mt.modules_by_key(net, lambda lab: lab[k:])
+        name, expected = f"S{n} ({k}-substar modules)", n - k
+    elif family == "debruijn":
+        net = nw.debruijn(2, 8)
+        ma = mt.modules_by_key(net, lambda lab: lab[:4])
+        name, expected = "dB(2,8) (MSB modules)", 4
+    else:
+        raise ValueError(f"unknown §5.3 case {family!r}")
+    off = mt.offmodule_links_per_node(ma)
+    return {
+        "network": name,
+        "N": net.num_nodes,
+        "module": ma.max_module_size,
+        "max off-links/node": int(off.max()),
+        "mean off-links/node": round(float(off.mean()), 3),
+        "paper": expected,
+    }
+
+
+def sec53_offmodule_table(max_nodes: int = 70_000, jobs: int = 1) -> list[dict]:
     """The Section-5.3 comparison: maximum off-module links per node under
     the canonical partitionings, measured on built instances.
 
     Expected values (from the paper): ring-CN 1 (l = 2) then 2 (l ≥ 3);
     HSN / complete-CN / super-flip ``l − 1``; hypercube ``n − c`` with
     ``2^c``-node modules; star ``n − k`` with k-substar modules;
-    de Bruijn 4.
+    de Bruijn 4.  ``jobs`` fans the per-case build+measure out over a
+    process pool (``0`` = all cores); row order matches the serial run.
     """
-    import numpy as np
+    from repro.parallel import run_tasks
 
-    from repro import metrics as mt
-    from repro import networks as nw
-
-    rows: list[dict] = []
-
-    def add(name, net, ma, expected):
-        off = mt.offmodule_links_per_node(ma)
-        rows.append(
-            {
-                "network": name,
-                "N": net.num_nodes,
-                "module": ma.max_module_size,
-                "max off-links/node": int(off.max()),
-                "mean off-links/node": round(float(off.mean()), 3),
-                "paper": expected,
-            }
-        )
-
+    specs: list[tuple] = []
     for l in (2, 3, 4, 5):
         if 4**l > max_nodes:
             break
-        g = nw.ring_cn_hypercube(l, 2)
-        add(f"ring-CN({l},Q2)", g, mt.nucleus_modules(g), 1 if l == 2 else 2)
-        h = nw.hsn_hypercube(l, 2)
-        add(f"HSN({l},Q2)", h, mt.nucleus_modules(h), l - 1)
-        c = nw.complete_cn(l, nw.hypercube_nucleus(2))
-        add(f"complete-CN({l},Q2)", c, mt.nucleus_modules(c), l - 1)
-        f = nw.super_flip(l, nw.hypercube_nucleus(2))
-        add(f"super-flip({l},Q2)", f, mt.nucleus_modules(f), l - 1)
-    for n, c in ((7, 3), (8, 4)):
-        q = nw.hypercube(n)
-        add(f"Q{n} (Q{c} modules)", q, mt.subcube_modules(q, c), n - c)
-    for n, k in ((5, 3), (6, 3)):
-        s = nw.star_graph(n)
-        ma = mt.modules_by_key(s, lambda lab: lab[k:])
-        add(f"S{n} ({k}-substar modules)", s, ma, n - k)
-    db = nw.debruijn(2, 8)
-    ma = mt.modules_by_key(db, lambda lab: lab[:4])
-    add("dB(2,8) (MSB modules)", db, ma, 4)
-    return rows
+        specs += [("ring_cn", l), ("hsn", l), ("complete_cn", l), ("super_flip", l)]
+    specs += [("hypercube", 7, 3), ("hypercube", 8, 4)]
+    specs += [("star", 5, 3), ("star", 6, 3)]
+    specs.append(("debruijn",))
+    return run_tasks(_offmodule_case, None, specs, jobs=jobs)

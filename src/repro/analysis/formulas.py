@@ -147,10 +147,12 @@ def supergen_module_quotient(sgs: SuperGeneratorSet, M: int, max_nodes: int = 30
     return Network(labels, src, dst, name=f"quotient[{sgs.name},M={M}]")
 
 
-from functools import lru_cache
+from repro.cache.memory import memoize_lru
 
 
-@lru_cache(maxsize=256)
+# bounded + clearable (repro.cache.clear_memory_caches), unlike the old
+# functools.lru_cache which pinned quotient graphs for the process lifetime
+@memoize_lru(maxsize=256)
 def _quotient_i_metrics(
     sgs: SuperGeneratorSet, M: int, max_nodes: int = 4096, sample: int = 64
 ) -> tuple[int, float, bool]:

@@ -1,0 +1,289 @@
+"""Content-addressed on-disk artifact cache for built graphs and tables.
+
+Theorem 4.1/4.3 artifacts — super-IP closures, distance matrices, next-hop
+tables — are pure functions of ``(family, params, generator set, engine
+version)``, so they can be persisted once and reloaded for free on every
+later sweep.  This module provides:
+
+* :func:`cache_key` — a stable SHA-256 over a canonicalized description of
+  the artifact (family name, parameters, generator permutations, cache
+  schema + engine version), so any change to the inputs *or* to the engine
+  release invalidates the entry;
+* :class:`ArtifactCache` — a directory of ``.npz`` archives addressed by
+  key (two-level fan-out on the key prefix), storing whole networks via
+  :mod:`repro.io` (CSR arc arrays + label arrays + generator metadata) and
+  raw array bundles (distance / next-hop tables);
+* a process-wide default cache: :func:`configure` (honouring
+  ``$REPRO_CACHE_DIR`` and falling back to ``~/.cache/repro``),
+  :func:`get_cache`, :func:`set_cache`.
+
+Caching is **opt-in**: the default cache is ``None`` until
+:func:`configure` is called (the CLI does so under ``--cache-dir``), and
+library call sites treat a missing cache as "build from scratch".
+
+Obs accounting: ``cache.hit`` / ``cache.miss`` counters, ``cache.bytes``
+(bytes written), ``cache.bytes.read`` (bytes loaded on hits), and
+``cache.skip`` for artifacts that cannot be serialized.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro import obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.core.network import Network
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ArtifactCache",
+    "cache_key",
+    "configure",
+    "default_cache_dir",
+    "get_cache",
+    "set_cache",
+]
+
+#: bump to invalidate every existing cache entry (serialization changes)
+CACHE_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# stable keys
+# ----------------------------------------------------------------------
+def _jsonable(obj: Any) -> Any:
+    """Canonical JSON-safe form of a key component (order-stable)."""
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (set, frozenset)):
+        return sorted(repr(x) for x in obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if hasattr(obj, "img"):  # Permutation-like: the image tuple is the identity
+        return {"perm": [int(i) for i in obj.img]}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+        return {"dataclass": type(obj).__qualname__, "fields": _jsonable(fields)}
+    return repr(obj)
+
+
+def cache_key(kind: str, **parts: Any) -> str:
+    """Stable content key for one artifact.
+
+    ``kind`` namespaces the artifact ("registry.build", "superip.build",
+    "routing.next_hop_table", ...); ``parts`` are the inputs the artifact
+    is a pure function of.  The cache schema version and the engine
+    (package) version are always mixed in, so either bump invalidates.
+    """
+    from repro import __version__
+
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "engine": __version__,
+        "kind": kind,
+        "parts": _jsonable(parts),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the on-disk cache
+# ----------------------------------------------------------------------
+class ArtifactCache:
+    """A directory of ``.npz`` artifacts addressed by :func:`cache_key`.
+
+    Writes are atomic (temp file + ``os.replace``), so concurrent workers
+    racing on the same key at worst redo the serialization — readers never
+    observe a partial archive.
+
+    Networks smaller than ``min_nodes`` are never stored: for tiny
+    instances the fixed ``.npz`` open/decompress cost exceeds the build
+    itself, so caching them makes warm runs *slower* (measured in
+    ``benchmarks/bench_parallel_sweep.py``).  Pass ``min_nodes=1`` to cache
+    everything.
+    """
+
+    def __init__(self, root: str | Path, min_nodes: int = 64) -> None:
+        self.root = Path(root).expanduser()
+        self.min_nodes = int(min_nodes)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:
+        return f"ArtifactCache({str(self.root)!r})"
+
+    # -- paths ----------------------------------------------------------
+    def path_for(self, key: str, suffix: str = "net") -> Path:
+        """On-disk location of an artifact (``<root>/<k[:2]>/<k>.<suffix>.npz``)."""
+        return self.root / key[:2] / f"{key}.{suffix}.npz"
+
+    def contains(self, key: str, suffix: str = "net") -> bool:
+        """Whether an artifact exists for ``key`` (no counters touched)."""
+        return self.path_for(key, suffix).exists()
+
+    def _atomic_write(self, path: Path, writer: Any) -> int:
+        """Run ``writer(tmp_path)`` then atomically publish; returns bytes."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+        try:
+            writer(tmp)
+            nbytes = tmp.stat().st_size
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # writer failed before the replace
+                tmp.unlink(missing_ok=True)
+        return nbytes
+
+    # -- whole networks -------------------------------------------------
+    def store_network(self, key: str, net: "Network") -> bool:
+        """Persist a built network under ``key`` (True when stored).
+
+        Only plain :class:`~repro.core.network.Network` /
+        :class:`~repro.core.ipgraph.IPGraph` instances round-trip through
+        :mod:`repro.io`; richer subclasses and non-JSON labels are skipped
+        (counted as ``cache.skip``) rather than stored lossily.
+        """
+        from repro.core.ipgraph import IPGraph
+        from repro.core.network import Network
+        from repro.io import save_network
+
+        reg = obs.registry()
+        if type(net) not in (Network, IPGraph) or net.num_nodes < self.min_nodes:
+            reg.incr("cache.skip")
+            return False
+        path = self.path_for(key, "net")
+        try:
+            nbytes = self._atomic_write(path, lambda tmp: save_network(net, tmp))
+        except TypeError:  # labels not JSON-serializable
+            reg.incr("cache.skip")
+            return False
+        reg.incr("cache.store")
+        reg.incr("cache.bytes", nbytes)
+        return True
+
+    def load_network(self, key: str) -> "Network | None":
+        """Load the network stored under ``key`` (None on a miss)."""
+        from repro.io import load_network
+
+        reg = obs.registry()
+        path = self.path_for(key, "net")
+        if not path.exists():
+            reg.incr("cache.miss")
+            return None
+        try:
+            net = load_network(path)
+        except (OSError, ValueError, KeyError):  # corrupt/foreign archive
+            reg.incr("cache.error")
+            path.unlink(missing_ok=True)
+            reg.incr("cache.miss")
+            return None
+        reg.incr("cache.hit")
+        reg.incr("cache.bytes.read", path.stat().st_size)
+        return net
+
+    # -- raw array bundles (distance / next-hop tables) ----------------
+    def store_arrays(self, key: str, arrays: dict[str, np.ndarray], suffix: str = "tbl") -> bool:
+        """Persist a named bundle of arrays under ``key``."""
+        reg = obs.registry()
+        path = self.path_for(key, suffix)
+        nbytes = self._atomic_write(
+            path, lambda tmp: np.savez_compressed(tmp, **arrays)
+        )
+        reg.incr("cache.store")
+        reg.incr("cache.bytes", nbytes)
+        return True
+
+    def load_arrays(self, key: str, suffix: str = "tbl") -> dict[str, np.ndarray] | None:
+        """Load an array bundle (None on a miss)."""
+        reg = obs.registry()
+        path = self.path_for(key, suffix)
+        if not path.exists():
+            reg.incr("cache.miss")
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                out = {name: data[name] for name in data.files}
+        except (OSError, ValueError, KeyError):
+            reg.incr("cache.error")
+            path.unlink(missing_ok=True)
+            reg.incr("cache.miss")
+            return None
+        reg.incr("cache.hit")
+        reg.incr("cache.bytes.read", path.stat().st_size)
+        return out
+
+    # -- maintenance ----------------------------------------------------
+    def entries(self) -> list[Path]:
+        """Every artifact file currently in the cache."""
+        return sorted(self.root.glob("*/*.npz"))
+
+    def size_bytes(self) -> int:
+        """Total bytes currently stored."""
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete every artifact; returns the number of files removed."""
+        removed = 0
+        for p in self.entries():
+            p.unlink(missing_ok=True)
+            removed += 1
+        for d in sorted(self.root.glob("*")):
+            if d.is_dir() and not any(d.iterdir()):
+                d.rmdir()
+        return removed
+
+
+# ----------------------------------------------------------------------
+# process-wide default cache
+# ----------------------------------------------------------------------
+_default_cache: ArtifactCache | None = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+def configure(path: str | Path | None = None, min_nodes: int = 64) -> ArtifactCache:
+    """Install (and return) the process-wide default cache.
+
+    ``path=None`` uses :func:`default_cache_dir`.  Until this is called,
+    :func:`get_cache` returns ``None`` and nothing touches the disk.
+    ``min_nodes`` is the smallest network worth persisting (see
+    :class:`ArtifactCache`).
+    """
+    global _default_cache
+    _default_cache = ArtifactCache(
+        path if path is not None else default_cache_dir(), min_nodes=min_nodes
+    )
+    return _default_cache
+
+
+def get_cache() -> ArtifactCache | None:
+    """The process-wide default cache, or ``None`` when caching is off."""
+    return _default_cache
+
+
+def set_cache(cache: ArtifactCache | None) -> None:
+    """Replace the default cache (``None`` disables caching)."""
+    global _default_cache
+    _default_cache = cache

@@ -1,0 +1,102 @@
+"""Bounded, clearable in-process memoization.
+
+The stdlib ``functools.lru_cache`` bounds the *entry count* but gives no
+central way to flush every cache in the process — a hazard when the cached
+values are whole built graphs: a module-level cache pins each instance for
+the process lifetime, so a registry/contract sweep that touches many
+nuclei accumulates every one of them (the bug this module replaces in
+:mod:`repro.core.superip`).
+
+:func:`memoize_lru` is a drop-in decorator with three differences from
+``lru_cache``:
+
+* every cache created through it is registered process-wide, so
+  :func:`clear_memory_caches` (also re-exported as
+  ``repro.cache.clear_memory_caches``) empties all of them at once;
+* hits and misses are counted into the obs registry
+  (``cache.memory.hit`` / ``cache.memory.miss``) when observability is
+  enabled;
+* the default ``maxsize`` is deliberately small — these caches hold
+  *graphs*, not scalars, so the bound is a memory bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+from functools import wraps
+from typing import Any
+
+__all__ = ["memoize_lru", "clear_memory_caches", "registered_memory_caches"]
+
+#: every cache created by :func:`memoize_lru`, for central clearing
+_CACHES: list[Callable[..., Any]] = []
+
+
+def registered_memory_caches() -> list[Callable[..., Any]]:
+    """The memoized functions registered so far (in creation order)."""
+    return list(_CACHES)
+
+
+def clear_memory_caches() -> int:
+    """Empty every :func:`memoize_lru` cache; returns entries dropped."""
+    dropped = 0
+    for fn in _CACHES:
+        dropped += fn.cache_info()["currsize"]
+        fn.cache_clear()
+    return dropped
+
+
+def memoize_lru(maxsize: int = 8) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """LRU-memoize a function with a small bound and central clearing.
+
+    Arguments must be hashable (same contract as ``functools.lru_cache``).
+    The wrapper exposes ``cache_clear()`` and ``cache_info()`` (a dict with
+    ``hits`` / ``misses`` / ``maxsize`` / ``currsize``).
+    """
+    if maxsize < 1:
+        raise ValueError("maxsize must be >= 1")
+
+    def deco(fn: Callable[..., Any]) -> Callable[..., Any]:
+        entries: OrderedDict[tuple, Any] = OrderedDict()
+        stats = {"hits": 0, "misses": 0}
+
+        @wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            from repro import obs
+
+            key = (args, tuple(sorted(kwargs.items())))
+            try:
+                value = entries[key]
+            except KeyError:
+                pass
+            else:
+                entries.move_to_end(key)
+                stats["hits"] += 1
+                obs.registry().incr("cache.memory.hit")
+                return value
+            stats["misses"] += 1
+            obs.registry().incr("cache.memory.miss")
+            value = fn(*args, **kwargs)
+            entries[key] = value
+            if len(entries) > maxsize:
+                entries.popitem(last=False)
+            return value
+
+        def cache_clear() -> None:
+            entries.clear()
+
+        def cache_info() -> dict:
+            return {
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+                "maxsize": maxsize,
+                "currsize": len(entries),
+            }
+
+        wrapper.cache_clear = cache_clear  # type: ignore[attr-defined]
+        wrapper.cache_info = cache_info  # type: ignore[attr-defined]
+        _CACHES.append(wrapper)
+        return wrapper
+
+    return deco

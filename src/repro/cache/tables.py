@@ -1,0 +1,66 @@
+"""Cache-aware construction of routing artifacts (next-hop tables).
+
+A :class:`~repro.routing.table.NextHopTable` is a pure function of the
+topology it is built on, so when the topology itself came out of the
+artifact cache (and therefore carries a ``cache_key`` attribute, stamped
+by :func:`repro.networks.registry.build`), the table can be persisted
+alongside it and reloaded instead of re-running the chunked all-pairs BFS.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .artifacts import ArtifactCache, cache_key, get_cache
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.core.network import Network
+    from repro.routing.table import NextHopTable
+
+__all__ = ["cached_next_hop_table"]
+
+
+def cached_next_hop_table(
+    net: "Network",
+    chunk: int = 64,
+    with_distances: bool = False,
+    allow_unreachable: bool = False,
+    cache: ArtifactCache | None = None,
+) -> "NextHopTable":
+    """Build (or reload) the next-hop table for ``net``.
+
+    Falls back to a plain :class:`~repro.routing.table.NextHopTable` build
+    when no cache is configured or the network has no ``cache_key`` (i.e.
+    it was not built through the registry with caching enabled).  The
+    distance matrix is stored only when ``with_distances`` is requested.
+    """
+    from repro.routing.table import NextHopTable
+
+    cache = cache if cache is not None else get_cache()
+    net_key = getattr(net, "cache_key", None)
+    if cache is None or net_key is None or net.num_nodes < cache.min_nodes:
+        return NextHopTable(
+            net,
+            chunk=chunk,
+            with_distances=with_distances,
+            allow_unreachable=allow_unreachable,
+        )
+    key = cache_key(
+        "routing.next_hop_table",
+        graph=net_key,
+        with_distances=with_distances,
+        allow_unreachable=allow_unreachable,
+    )
+    arrays = cache.load_arrays(key)
+    if arrays is not None:
+        return NextHopTable.from_arrays(
+            net, table=arrays["table"], dist=arrays.get("dist")
+        )
+    table = NextHopTable(
+        net,
+        chunk=chunk,
+        with_distances=with_distances,
+        allow_unreachable=allow_unreachable,
+    )
+    cache.store_arrays(key, table.to_arrays())
+    return table

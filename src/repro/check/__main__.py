@@ -38,6 +38,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="restrict to the named registry family (repeatable; default: all)",
     )
+    p_con.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the family fan-out (0 = all cores)",
+    )
+    p_con.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent graph-artifact cache directory (see repro.cache)",
+    )
     p_con.add_argument("--profile", action="store_true", help="print obs counters after")
     return parser
 
@@ -57,7 +70,11 @@ def run(args: argparse.Namespace) -> int:
         else:
             from .invariants import run_contracts
 
-            report = run_contracts(args.family or None)
+            if args.cache_dir is not None:
+                from repro import cache
+
+                cache.configure(args.cache_dir)
+            report = run_contracts(args.family or None, jobs=args.jobs)
         print(report.render())
         if args.profile:
             print()

@@ -27,7 +27,8 @@ import math
 from collections import deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
-from functools import lru_cache
+
+from repro.cache.memory import memoize_lru
 
 from .ipgraph import NUCLEUS, SUPER, Generator, IPGraph, build_ip_graph
 from .permutation import (
@@ -117,7 +118,10 @@ class NucleusSpec:
         return diameter(_nucleus_graph_cached(self, max_nodes))
 
 
-@lru_cache(maxsize=64)
+# Bounded + centrally clearable (repro.cache.clear_memory_caches): a plain
+# module-level ``@lru_cache`` here pinned every nucleus graph ever built for
+# the whole process lifetime, leaking memory across registry/contract sweeps.
+@memoize_lru(maxsize=8)
 def _nucleus_graph_cached(nucleus: NucleusSpec, max_nodes: int) -> IPGraph:
     return nucleus.build(max_nodes=max_nodes)
 
@@ -281,15 +285,44 @@ def build_super_ip_graph(
     if name is None:
         prefix = "sym-" if symmetric else ""
         name = f"{prefix}{sgs.name}(l={l},{nucleus.name})"
+    if engine not in ("fast", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+
+    # the closure is a pure function of (seed, generator set, flags): consult
+    # the artifact cache when one is configured (repro.cache.configure)
+    from repro.cache import cache_key, get_cache
+
+    cache = get_cache()
+    key: str | None = None
+    if cache is not None:
+        key = cache_key(
+            "superip.build",
+            seed=seed,
+            generators=[(g.name, g.kind, list(g.perm.img)) for g in gens],
+            name=name,
+            directed=directed,
+            engine=engine,
+            max_nodes=max_nodes,
+        )
+        hit = cache.load_network(key)
+        if isinstance(hit, IPGraph):
+            hit.cache_key = key
+            return hit
+
     if engine == "fast":
         from .fastclosure import build_ip_graph_fast
 
-        return build_ip_graph_fast(
+        graph = build_ip_graph_fast(
             seed, gens, name=name, max_nodes=max_nodes, directed=directed
         )
-    if engine != "reference":
-        raise ValueError(f"unknown engine {engine!r}")
-    return build_ip_graph(seed, gens, name=name, max_nodes=max_nodes, directed=directed)
+    else:
+        graph = build_ip_graph(
+            seed, gens, name=name, max_nodes=max_nodes, directed=directed
+        )
+    if cache is not None and key is not None:
+        cache.store_network(key, graph)
+        graph.cache_key = key
+    return graph
 
 
 # ----------------------------------------------------------------------

@@ -9,6 +9,12 @@ aggregates delivery ratio, latency dilation (mean latency relative to the
 same network's zero-fault run), and the reroute/drop/retransmit counters.
 Seeding is fully deterministic: trial ``j`` at any fault count reuses the
 same workload, so curves across fault counts are paired-sample comparable.
+
+Every ``(fault count, trial)`` pair is an independent task whose RNG
+streams derive from ``(seed, fault count, trial)`` alone, so the sweep
+fans out over a process pool (``jobs``) with **bit-identical** results to
+the serial run — the trials are computed by the same function either way
+and aggregated in the same task order (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.network import Network
+from repro.parallel import run_tasks
 from repro.sim.simulator import PacketSimulator
 from repro.sim.workloads import uniform_random
 
@@ -34,6 +41,42 @@ def _sample_plan(
     raise ValueError(f"fault kind must be 'link' or 'node', got {kind!r}")
 
 
+def _fault_trial(ctx: dict, task: tuple[int, int]) -> dict | None:
+    """One seeded Monte-Carlo trial: ``task = (fault count, trial index)``.
+
+    Module-level so the process pool can pickle it; all randomness derives
+    from ``(seed, faults, trial)``, never from execution order.  Returns
+    ``None`` when the workload injects nothing (the trial contributes no
+    samples, exactly as in the serial aggregation).
+    """
+    net = ctx["net"]
+    faults, trial = task
+    seed, cycles = ctx["seed"], ctx["cycles"]
+    workload_rng = np.random.default_rng([seed, 1_000_003, trial])
+    injections = uniform_random(net, ctx["rate"], cycles, workload_rng)
+    if not injections:
+        return None
+    plan = None
+    if faults:
+        fault_rng = np.random.default_rng([seed, faults, trial])
+        plan = _sample_plan(net, ctx["kind"], faults, cycles, fault_rng)
+    sim = PacketSimulator(
+        net,
+        delays=ctx["delays"],
+        faults=plan,
+        retransmit_timeout=ctx["retransmit_timeout"],
+        max_retries=ctx["max_retries"],
+    )
+    stats = sim.run(injections, max_cycles=cycles * ctx["max_cycles_factor"])
+    return {
+        "delivery_ratio": stats.delivery_ratio,
+        "mean_latency": stats.mean_latency if stats.delivered else None,
+        "dropped": stats.dropped,
+        "retransmitted": stats.retransmitted,
+        "rerouted": stats.rerouted,
+    }
+
+
 def fault_sweep(
     net: Network,
     fault_counts: list[int],
@@ -47,6 +90,7 @@ def fault_sweep(
     max_cycles_factor: int = 50,
     retransmit_timeout: int = 16,
     max_retries: int = 4,
+    jobs: int = 1,
 ) -> list[dict]:
     """Delivery-ratio / latency-dilation curve for one network.
 
@@ -57,35 +101,39 @@ def fault_sweep(
     one aggregated row per fault count; ``latency_dilation`` is relative to
     the zero-fault mean latency of the same workload (NaN until a zero-fault
     baseline exists in the sweep or nothing was delivered).
+
+    ``jobs`` fans the ``(fault count, trial)`` grid out over a process pool
+    (``0`` = all cores); results are bit-identical to ``jobs=1``.
     """
+    if kind not in ("link", "node"):
+        raise ValueError(f"fault kind must be 'link' or 'node', got {kind!r}")
+    counts = sorted(set(int(f) for f in fault_counts))
+    ctx = {
+        "net": net,
+        "kind": kind,
+        "rate": rate,
+        "cycles": cycles,
+        "seed": seed,
+        "delays": delays,
+        "max_cycles_factor": max_cycles_factor,
+        "retransmit_timeout": retransmit_timeout,
+        "max_retries": max_retries,
+    }
+    tasks = [(faults, trial) for faults in counts for trial in range(trials)]
+    results = run_tasks(_fault_trial, ctx, tasks, jobs=jobs)
+    by_count: dict[int, list[dict]] = {f: [] for f in counts}
+    for (faults, _), res in zip(tasks, results):
+        if res is not None:
+            by_count[faults].append(res)
     rows = []
     baseline_latency: float | None = None
-    counts = sorted(set(int(f) for f in fault_counts))
     for faults in counts:
-        ratios, latencies, drops, retx, reroutes = [], [], [], [], []
-        for trial in range(trials):
-            workload_rng = np.random.default_rng([seed, 1_000_003, trial])
-            injections = uniform_random(net, rate, cycles, workload_rng)
-            if not injections:
-                continue
-            plan = None
-            if faults:
-                fault_rng = np.random.default_rng([seed, faults, trial])
-                plan = _sample_plan(net, kind, faults, cycles, fault_rng)
-            sim = PacketSimulator(
-                net,
-                delays=delays,
-                faults=plan,
-                retransmit_timeout=retransmit_timeout,
-                max_retries=max_retries,
-            )
-            stats = sim.run(injections, max_cycles=cycles * max_cycles_factor)
-            ratios.append(stats.delivery_ratio)
-            if stats.delivered:
-                latencies.append(stats.mean_latency)
-            drops.append(stats.dropped)
-            retx.append(stats.retransmitted)
-            reroutes.append(stats.rerouted)
+        samples = by_count[faults]
+        ratios = [s["delivery_ratio"] for s in samples]
+        latencies = [s["mean_latency"] for s in samples if s["mean_latency"] is not None]
+        drops = [s["dropped"] for s in samples]
+        retx = [s["retransmitted"] for s in samples]
+        reroutes = [s["rerouted"] for s in samples]
         mean_latency = float(np.mean(latencies)) if latencies else float("nan")
         if faults == 0 and latencies:
             baseline_latency = mean_latency
@@ -131,7 +179,12 @@ def fault_comparison(
     **kw,
 ) -> list[dict]:
     """Run :func:`fault_sweep` over a case list (default: the paper set) and
-    concatenate the rows — the table behind ``python -m repro faults``."""
+    concatenate the rows — the table behind ``python -m repro faults``.
+
+    Keyword arguments (including ``jobs``) pass through to
+    :func:`fault_sweep`; the fan-out happens within each case's sweep so
+    row order is independent of the ``jobs`` setting.
+    """
     if cases is None:
         cases = default_resilience_cases()
     rows: list[dict] = []

@@ -31,11 +31,15 @@ def save_network(net: Network, path: str | Path) -> Path:
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
+    flat_labels = all(
+        not any(isinstance(x, (list, tuple)) for x in lab) for lab in net.labels
+    )
     payload: dict = {
         "version": np.int64(_FORMAT_VERSION),
         "name": np.bytes_(net.name.encode()),
         "directed": np.bool_(net.directed),
         "labels_json": np.bytes_(json.dumps(net.labels).encode()),
+        "labels_flat": np.bool_(flat_labels),
         "edges_src": net.edges_src,
         "edges_dst": net.edges_dst,
     }
@@ -57,6 +61,10 @@ def save_network(net: Network, path: str | Path) -> Path:
 
 def _tuplify(obj):
     if isinstance(obj, list):
+        # labels are overwhelmingly flat tuples of scalars; one containment
+        # scan + a direct tuple() beats a recursive generator per element
+        if not any(type(x) is list for x in obj):
+            return tuple(obj)
         return tuple(_tuplify(x) for x in obj)
     return obj
 
@@ -72,7 +80,13 @@ def load_network(path: str | Path) -> Network:
             raise ValueError(f"unsupported archive version {version}")
         name = bytes(data["name"]).decode()
         directed = bool(data["directed"])
-        labels = [_tuplify(lab) for lab in json.loads(bytes(data["labels_json"]).decode())]
+        decoded = json.loads(bytes(data["labels_json"]).decode())
+        if "labels_flat" in data.files and bool(data["labels_flat"]):
+            # no nested tuples anywhere (checked at save time): convert at
+            # C speed instead of recursing per element
+            labels = list(map(tuple, decoded))
+        else:
+            labels = [_tuplify(lab) for lab in decoded]
         src = data["edges_src"]
         dst = data["edges_dst"]
         if bool(data["is_ipgraph"]):

@@ -119,14 +119,35 @@ REGISTRY: dict[str, Callable[..., Network]] = {
 
 
 def build(name: str, **params: object) -> Network:
-    """Build a registered network family by name."""
+    """Build a registered network family by name.
+
+    When an artifact cache is configured (:func:`repro.cache.configure` or
+    the CLI's ``--cache-dir``), the built graph is stored under a stable
+    key of ``(family, params, engine version)`` and later calls load the
+    artifact instead of rebuilding; loaded/stored networks carry the key
+    as a ``cache_key`` attribute so downstream artifacts (next-hop tables)
+    can chain off it.
+    """
     try:
         factory = REGISTRY[name]
     except KeyError:
         raise KeyError(
             f"unknown network {name!r}; available: {', '.join(sorted(REGISTRY))}"
         ) from None
-    return factory(**params)
+    from repro.cache import cache_key, get_cache
+
+    cache = get_cache()
+    if cache is None:
+        return factory(**params)
+    key = cache_key("registry.build", family=name, params=params)
+    hit = cache.load_network(key)
+    if hit is not None:
+        hit.cache_key = key
+        return hit
+    net = factory(**params)
+    net.cache_key = key
+    cache.store_network(key, net)
+    return net
 
 
 def available() -> list[str]:

@@ -1,0 +1,109 @@
+"""Seeded process-pool fan-out for the experiment layers (``repro.parallel``).
+
+Every sweep in the library — Monte-Carlo fault trials, offered-load rate
+points, per-family contract checks — is a list of *independent* tasks whose
+per-task randomness is derived from ``(seed, task identity)``, never from
+execution order.  That makes fan-out trivially deterministic: running the
+same task list with 1 worker or N workers produces bit-identical results,
+because
+
+* each task carries its own ``np.random.default_rng([seed, ...ids])``
+  stream (no shared RNG state), and
+* :func:`run_tasks` returns results **in task order** regardless of
+  completion order, so order-independent reductions see the same inputs.
+
+The serial path (``jobs=1``, the default) is a plain list comprehension —
+no executor, no pickling — so sweeps that do not opt in pay nothing
+(budgeted <3% in ``benchmarks/bench_parallel_sweep.py``).
+
+Worker model: the shared, read-only context (typically the built network
+plus scalar knobs) is shipped **once per worker** via the pool initializer
+rather than once per task, so fan-out cost scales with workers, not tasks.
+Both the task function and the context must be picklable (module-level
+functions; no lambdas/closures).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, TypeVar
+
+from repro import obs
+
+__all__ = ["effective_jobs", "run_tasks"]
+
+C = TypeVar("C")
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: (fn, ctx) installed in each worker process by the pool initializer
+_WORKER_STATE: tuple[Callable[..., Any], Any] | None = None
+
+
+def _init_worker(fn: Callable[..., Any], ctx: Any) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (fn, ctx)
+
+
+def _run_one(task: Any) -> Any:
+    if _WORKER_STATE is None:  # pragma: no cover — pool misconfiguration
+        raise RuntimeError("repro.parallel worker used before initialization")
+    fn, ctx = _WORKER_STATE
+    return fn(ctx, task)
+
+
+def effective_jobs(jobs: int | None, num_tasks: int | None = None) -> int:
+    """Resolve a ``--jobs`` value: ``0``/``None`` means all cores; clamp to
+    the task count so empty/small sweeps never spawn idle workers."""
+    if jobs is None or jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    if num_tasks is not None:
+        jobs = min(jobs, num_tasks)
+    return max(1, jobs)
+
+
+def run_tasks(
+    fn: Callable[[C, T], R],
+    ctx: C,
+    tasks: Iterable[T],
+    jobs: int | None = 1,
+    chunksize: int = 1,
+) -> list[R]:
+    """Run ``fn(ctx, task)`` for every task, results in task order.
+
+    Parameters
+    ----------
+    fn:
+        Module-level (picklable) task function.
+    ctx:
+        Shared read-only context, shipped once per worker (picklable when
+        ``jobs != 1``).
+    tasks:
+        The task list; each task is handed to ``fn`` unchanged.
+    jobs:
+        ``1`` (default) runs inline with zero fan-out overhead; ``N > 1``
+        uses a :class:`~concurrent.futures.ProcessPoolExecutor` with ``N``
+        workers; ``0``/``None`` uses all cores.
+    chunksize:
+        Tasks per pickled batch (raise for many very cheap tasks).
+
+    Results are **bit-identical** across ``jobs`` settings as long as
+    ``fn`` derives any randomness from ``(ctx, task)`` alone.
+    """
+    task_list = list(tasks)
+    jobs = effective_jobs(jobs, len(task_list))
+    reg = obs.registry()
+    reg.incr("parallel.tasks", len(task_list))
+    reg.gauge_max("parallel.jobs", jobs)
+    if jobs <= 1:
+        with obs.span("parallel.run", jobs=1, tasks=len(task_list)):
+            return [fn(ctx, t) for t in task_list]
+    with obs.span("parallel.run", jobs=jobs, tasks=len(task_list)):
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_init_worker, initargs=(fn, ctx)
+        ) as pool:
+            return list(pool.map(_run_one, task_list, chunksize=chunksize))

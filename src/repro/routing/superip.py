@@ -20,7 +20,6 @@ diameter, so this simple router is worst-case optimal.
 from __future__ import annotations
 
 from collections import deque
-from functools import lru_cache
 
 from repro import obs
 from repro.core.ipgraph import IPGraph

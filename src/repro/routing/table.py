@@ -141,6 +141,49 @@ class NextHopTable:
         reg.incr("routing.table.builds")
         reg.incr("routing.table.nodes", n)
 
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The table (and distance matrix, if kept) as a named array bundle.
+
+        The bundle round-trips through :meth:`from_arrays` and is what
+        :func:`repro.cache.cached_next_hop_table` persists to disk.
+        """
+        out = {"table": self.table}
+        if self.dist is not None:
+            out["dist"] = self.dist
+        return out
+
+    @classmethod
+    def from_arrays(
+        cls,
+        net: Network,
+        table: np.ndarray,
+        dist: np.ndarray | None = None,
+    ) -> "NextHopTable":
+        """Reconstruct a table from :meth:`to_arrays` output without BFS.
+
+        The caller is responsible for pairing the arrays with the same
+        topology they were built on (the artifact cache keys tables by the
+        graph's own cache key, so a mismatch cannot happen through it).
+        """
+        n = net.num_nodes
+        table = np.asarray(table, dtype=np.int32)
+        if table.shape != (n, n):
+            raise ValueError(
+                f"next-hop table shape {table.shape} does not match "
+                f"{net.name!r} ({n} nodes)"
+            )
+        self = cls.__new__(cls)
+        csr = net.adjacency_csr()
+        self.net = net
+        self._indptr = csr.indptr
+        self._indices = csr.indices
+        self.table = table
+        self.dist = None if dist is None else np.asarray(dist, dtype=np.int32)
+        reg = obs.registry()
+        reg.incr("routing.table.loads")
+        reg.incr("routing.table.nodes", n)
+        return self
+
     def next_hop(self, u: int, dst: int) -> int:
         """Neighbor of ``u`` on a shortest path to ``dst``.
 
