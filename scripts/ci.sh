@@ -16,6 +16,10 @@ echo "== static analysis: paper-invariant contract sweep =="
 python -m repro.check contracts
 
 echo
+echo "== static analysis: determinism & cache-soundness dataflow =="
+python -m repro.check dataflow src
+
+echo
 echo "== static analysis: ruff =="
 if command -v ruff > /dev/null 2>&1; then
     ruff check src
@@ -79,6 +83,10 @@ with tempfile.TemporaryDirectory() as d:
 print("cache hit on rerun; cold-serial and warm-parallel JSON identical")
 PYEOF
 echo "OK"
+
+echo
+echo "== runtime determinism sanitizer (serial/parallel + cold/warm hashes) =="
+python -m repro.check sanitize --smoke
 
 echo
 echo "CI OK"

@@ -157,6 +157,16 @@ def cmd_cache(args) -> int:
     print(f"cache dir: {store.root}")
     print(f"entries:   {len(entries)}")
     print(f"bytes:     {store.size_bytes()}")
+    if entries:
+        print(f"{'key':<16} {'type':<4} {'kind':<24} {'schema':>6} {'ruleset':>7} engine")
+        for p in entries:
+            key, suffix = p.name.split(".")[0], p.name.split(".")[1]
+            prov = store.provenance(key, suffix) or {}
+            print(
+                f"{key[:16]:<16} {suffix:<4} {prov.get('kind', '?'):<24} "
+                f"{prov.get('schema', '?'):>6} {prov.get('ruleset', '?'):>7} "
+                f"{prov.get('engine', '?')}"
+            )
     return 0
 
 

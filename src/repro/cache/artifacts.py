@@ -83,24 +83,43 @@ def _jsonable(obj: Any) -> Any:
     return repr(obj)
 
 
+#: key -> {kind, schema, engine, ruleset} for every key computed in-process;
+#: store_* persists the entry as a ``.json`` manifest beside the artifact
+_PROVENANCE: dict[str, dict[str, Any]] = {}
+
+
 def cache_key(kind: str, **parts: Any) -> str:
     """Stable content key for one artifact.
 
     ``kind`` namespaces the artifact ("registry.build", "superip.build",
     "routing.next_hop_table", ...); ``parts`` are the inputs the artifact
-    is a pure function of.  The cache schema version and the engine
-    (package) version are always mixed in, so either bump invalidates.
+    is a pure function of.  The cache schema version, the engine (package)
+    version, and the :mod:`repro.check` rule-set revision are always mixed
+    in — a rule-set bump marks an analyzer-relevant engine change (e.g. a
+    determinism fix the analyzer now enforces), so artifacts built before
+    it cannot be served after it.
     """
     from repro import __version__
+    from repro.check.ruleset import RULESET_VERSION
 
     payload = {
         "schema": CACHE_SCHEMA,
         "engine": __version__,
+        "ruleset": RULESET_VERSION,
         "kind": kind,
         "parts": _jsonable(parts),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
-    return hashlib.sha256(blob).hexdigest()
+    key = hashlib.sha256(blob).hexdigest()
+    # in-process memo: store_* reads it in the same process that computed
+    # the key (build → key → store); each worker keeps its own consistent copy
+    _PROVENANCE[key] = {  # repro: noqa[RPR011]
+        "kind": kind,
+        "schema": CACHE_SCHEMA,
+        "engine": __version__,
+        "ruleset": RULESET_VERSION,
+    }
+    return key
 
 
 # ----------------------------------------------------------------------
@@ -137,10 +156,39 @@ class ArtifactCache:
         """Whether an artifact exists for ``key`` (no counters touched)."""
         return self.path_for(key, suffix).exists()
 
+    def manifest_path(self, key: str, suffix: str = "net") -> Path:
+        """Location of the artifact's provenance manifest (``.json``)."""
+        return self.root / key[:2] / f"{key}.{suffix}.json"
+
+    def _write_manifest(self, key: str, suffix: str, nbytes: int) -> None:
+        """Record the key's provenance (kind/schema/engine/ruleset) beside
+        the artifact so ``repro cache info`` can explain stale entries even
+        across engine upgrades.  Best-effort: a missing manifest never
+        affects loads (artifacts are addressed purely by key)."""
+        prov = dict(_PROVENANCE.get(key, {"kind": "unknown"}))
+        prov["bytes"] = int(nbytes)
+        path = self.manifest_path(key, suffix)
+        try:
+            path.write_text(json.dumps(prov, sort_keys=True))
+        except OSError:  # pragma: no cover — manifest is advisory only
+            pass
+
+    def provenance(self, key: str, suffix: str = "net") -> dict[str, Any] | None:
+        """The stored provenance manifest for an artifact, or ``None``."""
+        path = self.manifest_path(key, suffix)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
     def _atomic_write(self, path: Path, writer: Any) -> int:
         """Run ``writer(tmp_path)`` then atomically publish; returns bytes."""
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+        # pid only names the scratch file (concurrent-writer safety); the
+        # published artifact's path and bytes are pid-independent
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")  # repro: noqa[RPR010]
         try:
             writer(tmp)
             nbytes = tmp.stat().st_size
@@ -173,6 +221,7 @@ class ArtifactCache:
         except TypeError:  # labels not JSON-serializable
             reg.incr("cache.skip")
             return False
+        self._write_manifest(key, "net", nbytes)
         reg.incr("cache.store")
         reg.incr("cache.bytes", nbytes)
         return True
@@ -205,6 +254,7 @@ class ArtifactCache:
         nbytes = self._atomic_write(
             path, lambda tmp: np.savez_compressed(tmp, **arrays)
         )
+        self._write_manifest(key, suffix, nbytes)
         reg.incr("cache.store")
         reg.incr("cache.bytes", nbytes)
         return True
@@ -238,11 +288,14 @@ class ArtifactCache:
         return sum(p.stat().st_size for p in self.entries())
 
     def clear(self) -> int:
-        """Delete every artifact; returns the number of files removed."""
+        """Delete every artifact (and its provenance manifest); returns the
+        number of artifact files removed."""
         removed = 0
         for p in self.entries():
             p.unlink(missing_ok=True)
             removed += 1
+        for m in self.root.glob("*/*.json"):
+            m.unlink(missing_ok=True)
         for d in sorted(self.root.glob("*")):
             if d.is_dir() and not any(d.iterdir()):
                 d.rmdir()

@@ -96,7 +96,9 @@ def memoize_lru(maxsize: int = 8) -> Callable[[Callable[..., Any]], Callable[...
 
         wrapper.cache_clear = cache_clear  # type: ignore[attr-defined]
         wrapper.cache_info = cache_info  # type: ignore[attr-defined]
-        _CACHES.append(wrapper)
+        # decoration-time registration: runs at module import in every
+        # process (workers included), never inside a pooled task
+        _CACHES.append(wrapper)  # repro: noqa[RPR011]
         return wrapper
 
     return deco

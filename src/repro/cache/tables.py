@@ -34,18 +34,24 @@ def cached_next_hop_table(
     it was not built through the registry with caching enabled).  The
     distance matrix is stored only when ``with_distances`` is requested.
     """
+    from repro import obs
     from repro.routing.table import NextHopTable
 
     cache = cache if cache is not None else get_cache()
     net_key = getattr(net, "cache_key", None)
     if cache is None or net_key is None or net.num_nodes < cache.min_nodes:
-        return NextHopTable(
+        table = NextHopTable(
             net,
             chunk=chunk,
             with_distances=with_distances,
             allow_unreachable=allow_unreachable,
         )
-    key = cache_key(
+        if obs.artifact_sink() is not None:
+            obs.artifact("routing.next_hop_table", table.to_arrays())
+        return table
+    # `chunk` is a BFS batching knob: it sets peak memory of the build,
+    # not the table's contents, so artifacts are shared across chunk sizes
+    key = cache_key(  # repro: noqa[RPR012]
         "routing.next_hop_table",
         graph=net_key,
         with_distances=with_distances,
@@ -53,6 +59,7 @@ def cached_next_hop_table(
     )
     arrays = cache.load_arrays(key)
     if arrays is not None:
+        obs.artifact("routing.next_hop_table", arrays)
         return NextHopTable.from_arrays(
             net, table=arrays["table"], dist=arrays.get("dist")
         )
@@ -63,4 +70,6 @@ def cached_next_hop_table(
         allow_unreachable=allow_unreachable,
     )
     cache.store_arrays(key, table.to_arrays())
+    if obs.artifact_sink() is not None:
+        obs.artifact("routing.next_hop_table", table.to_arrays())
     return table

@@ -1,23 +1,35 @@
-"""Static analysis for the repro codebase: custom lint + paper contracts.
-
-Two layers over one findings/report model:
+"""Static analysis for the repro codebase: lint, contracts, dataflow,
+and a runtime sanitizer — four layers over one findings/report model:
 
 * :mod:`repro.check.lint` — repo-specific AST linter (rules RPR001–
   RPR005, ``# repro: noqa[CODE]`` suppression);
 * :mod:`repro.check.invariants` — paper-invariant contract checker
-  (CTR001–CTR008) sweeping every registry family at small parameters.
+  (CTR001–CTR008) sweeping every registry family at small parameters;
+* :mod:`repro.check.determinism` — whole-program determinism and
+  cache-soundness analyzer (RPR010–RPR012) over the import-aware call
+  graph of :mod:`repro.check.callgraph`, with cache-key dataflow in
+  :mod:`repro.check.cachekeys`;
+* :mod:`repro.check.sanitize` — runtime sanitizer (SAN001–SAN003)
+  proving serial/parallel and cold/warm-cache hash-stream identity on a
+  real sweep.
 
-Run both from the command line::
+Run from the command line::
 
     python -m repro.check lint src
     python -m repro.check contracts
+    python -m repro.check dataflow src
+    python -m repro.check sanitize --smoke
 
 or as ``python -m repro check ...``.  See DESIGN.md for the rule catalog.
 """
 
+from .callgraph import CallGraph, FunctionNode, build_callgraph
+from .determinism import DATAFLOW_RULES, dataflow_paths, find_perimeters
 from .findings import Finding, Report
 from .invariants import FAMILY_SPECS, FamilySpec, check_family, check_network, run_contracts
 from .lint import RULES, lint_paths, lint_source
+from .ruleset import RULESET_VERSION
+from .sanitize import SANITIZE_RULES, sanitize_sweep, sanitize_tasks
 
 __all__ = [
     "Finding",
@@ -30,4 +42,14 @@ __all__ = [
     "check_family",
     "check_network",
     "run_contracts",
+    "CallGraph",
+    "FunctionNode",
+    "build_callgraph",
+    "DATAFLOW_RULES",
+    "dataflow_paths",
+    "find_perimeters",
+    "RULESET_VERSION",
+    "SANITIZE_RULES",
+    "sanitize_sweep",
+    "sanitize_tasks",
 ]

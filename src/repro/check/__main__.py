@@ -4,9 +4,11 @@ Usage::
 
     python -m repro.check lint [PATH ...]        # default: src
     python -m repro.check contracts [--family NAME ...]
+    python -m repro.check dataflow [PATH ...]    # default: src
+    python -m repro.check sanitize [--smoke]
 
 Exit status is 0 when clean, 1 when any finding is reported — suitable
-for CI gates (see ``scripts/ci.sh``).  Both subcommands accept
+for CI gates (see ``scripts/ci.sh``).  Every subcommand accepts
 ``--profile`` to print the obs counter/timer table afterwards.
 """
 
@@ -52,6 +54,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent graph-artifact cache directory (see repro.cache)",
     )
     p_con.add_argument("--profile", action="store_true", help="print obs counters after")
+
+    p_df = sub.add_parser(
+        "dataflow", help="run the whole-program determinism/cache-key analyzer"
+    )
+    p_df.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to analyze (default: src)",
+    )
+    p_df.add_argument("--profile", action="store_true", help="print obs counters after")
+
+    p_san = sub.add_parser(
+        "sanitize", help="run the runtime determinism sanitizer on a sweep"
+    )
+    p_san.add_argument(
+        "--family", default="hsn", metavar="NAME", help="registry family (default: hsn)"
+    )
+    p_san.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="family parameter (repeatable; int-valued; default: l=2 n=3)",
+    )
+    p_san.add_argument(
+        "--faults",
+        type=int,
+        nargs="+",
+        default=[0, 2],
+        metavar="N",
+        help="fault counts to sweep (default: 0 2)",
+    )
+    p_san.add_argument(
+        "--trials", type=int, default=2, metavar="N", help="trials per fault count"
+    )
+    p_san.add_argument(
+        "--cycles", type=int, default=40, metavar="N", help="injection cycles per trial"
+    )
+    p_san.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="workers for the parallel pass (0 = all cores)",
+    )
+    p_san.add_argument("--seed", type=int, default=0, metavar="N", help="sweep seed")
+    p_san.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache to sanitize (default: throwaway temp dir)",
+    )
+    p_san.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fastest meaningful configuration (tiny HSN sweep); overrides sizes",
+    )
+    p_san.add_argument("--profile", action="store_true", help="print obs counters after")
     return parser
 
 
@@ -67,6 +128,29 @@ def run(args: argparse.Namespace) -> int:
             from .lint import lint_paths
 
             report = lint_paths(args.paths)
+        elif args.cmd == "dataflow":
+            from .determinism import dataflow_paths
+
+            report = dataflow_paths(args.paths)
+        elif args.cmd == "sanitize":
+            from .sanitize import sanitize_sweep
+
+            params = {"l": 2, "n": 3} if args.family == "hsn" else {}
+            for item in args.param:
+                k, _, v = item.partition("=")
+                params[k] = int(v)
+            if args.smoke:
+                args.faults, args.trials, args.cycles = [0, 2], 2, 30
+            report = sanitize_sweep(
+                family=args.family,
+                params=params,
+                fault_counts=args.faults,
+                trials=args.trials,
+                cycles=args.cycles,
+                seed=args.seed,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+            )
         else:
             from .invariants import run_contracts
 

@@ -1,0 +1,393 @@
+"""Import-aware call graph over a python package tree (pure stdlib).
+
+The whole-program half of :mod:`repro.check` (the ``dataflow`` subcommand)
+needs to answer one question the per-file linter cannot: *which functions
+are reachable from a determinism perimeter* — a task function handed to
+:func:`repro.parallel.run_tasks`, a cached artifact builder, or a seeded
+``sim``/``fault`` entry point.  This module builds the graph those passes
+walk:
+
+* every module under the scanned paths is parsed once; module-level
+  functions and one level of class methods become :class:`FunctionNode`
+  records keyed by dotted qualname (``repro.fault.sweep._fault_trial``,
+  ``repro.sim.simulator.PacketSimulator.run``);
+* calls **and** bare references to known functions become edges — a
+  function passed as a callback (``run_tasks(_fault_trial, ...)``) is
+  reachable from the passing function even though it is never called by
+  name there;
+* name resolution honours module-level *and* function-local imports
+  (the codebase imports lazily inside functions), relative imports,
+  ``self.method()``, ``Class.method``, constructor calls (edge to
+  ``__init__``), and local variables bound to a constructor result
+  (``sim = PacketSimulator(...)`` then ``sim.run(...)``);
+* re-export chains through package ``__init__`` modules are followed
+  (``repro.cache.cache_key`` resolves to
+  ``repro.cache.artifacts.cache_key`` when both files are scanned);
+* attribute calls whose receiver cannot be typed fall back to *every*
+  scanned method of that bare name — a deliberate over-approximation:
+  for a reachability analysis, scanning too much is safe and scanning
+  too little is a missed bug.
+
+The graph is an analysis substrate, not a precise semantic model: calls
+through data structures (``REGISTRY[name](...)``) and dunder dispatch are
+invisible, which is why the rules it feeds are backed by seeded-violation
+tests and a runtime sanitizer (:mod:`repro.check.sanitize`).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import obs
+
+from .lint import _iter_py_files, _module_name
+
+__all__ = ["FunctionNode", "ModuleScope", "CallGraph", "build_callgraph"]
+
+
+@dataclass
+class FunctionNode:
+    """One module-level function or class method in the scanned tree."""
+
+    qualname: str  #: dotted name, e.g. ``repro.fault.sweep._fault_trial``
+    module: str  #: dotted module name
+    name: str  #: bare function name
+    cls: str | None  #: enclosing class name, or None for plain functions
+    path: str  #: source file (display form)
+    lineno: int  #: 1-based line of the ``def``
+    node: ast.FunctionDef | ast.AsyncFunctionDef  #: the parsed body
+    params: list[str] = field(default_factory=list)  #: parameter names in order
+
+
+@dataclass
+class ModuleScope:
+    """Per-module facts the resolver needs."""
+
+    modname: str
+    path: str
+    tree: ast.Module
+    source: str
+    #: local binding -> dotted target ("numpy", "repro.cache.cache_key", ...)
+    imports: dict[str, str] = field(default_factory=dict)
+    #: names bound at module top level (constants, functions, classes, aliases)
+    globals: set[str] = field(default_factory=set)
+    #: module-level names rebound via a ``global`` statement somewhere
+    rebound_globals: set[str] = field(default_factory=set)
+    #: class name -> {method name -> qualname}
+    classes: dict[str, dict[str, str]] = field(default_factory=dict)
+
+
+def _resolve_relative(module: str, level: int, target: str | None, is_init: bool) -> str | None:
+    """Absolute dotted module for a ``from ...x import y`` (None if broken)."""
+    base = module.split(".") if is_init else module.split(".")[:-1]
+    base = base[: len(base) - (level - 1)]
+    if target:
+        base.append(target)
+    return ".".join(base) if base else None
+
+
+class CallGraph:
+    """Functions, modules, and (call ∪ reference) edges over a scanned tree."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleScope] = {}
+        self.functions: dict[str, FunctionNode] = {}
+        #: qualname -> set of callee/referenced qualnames (known functions only)
+        self.edges: dict[str, set[str]] = {}
+        #: bare method name -> every scanned method qualname with that name
+        self.method_index: dict[str, list[str]] = {}
+        #: dotted alias (via ``__init__`` re-export) -> defining dotted name
+        self.aliases: dict[str, str] = {}
+
+    # -- resolution -----------------------------------------------------
+    def canonical(self, dotted: str) -> str:
+        """Follow re-export aliases to the defining dotted name."""
+        seen = set()
+        while dotted in self.aliases and dotted not in seen:
+            seen.add(dotted)
+            dotted = self.aliases[dotted]
+        return dotted
+
+    def lookup(self, dotted: str) -> FunctionNode | None:
+        """The function a dotted name denotes, if it is in the scanned set.
+
+        A dotted name denoting a scanned *class* resolves to its
+        ``__init__`` (a constructor call runs it).
+        """
+        dotted = self.canonical(dotted)
+        fn = self.functions.get(dotted)
+        if fn is not None:
+            return fn
+        mod, _, last = dotted.rpartition(".")
+        scope = self.modules.get(mod)
+        if scope is not None and last in scope.classes:
+            init = scope.classes[last].get("__init__")
+            if init is not None:
+                return self.functions.get(init)
+        return None
+
+    def reachable(self, roots: Iterable[str]) -> set[str]:
+        """Every function qualname reachable from ``roots`` (inclusive)."""
+        seen: set[str] = set()
+        queue = deque(q for q in roots if q in self.functions)
+        seen.update(queue)
+        while queue:
+            cur = queue.popleft()
+            for nxt in self.edges.get(cur, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return seen
+
+
+# ----------------------------------------------------------------------
+# per-function resolver
+# ----------------------------------------------------------------------
+class FunctionResolver:
+    """Resolves dotted references inside one function body.
+
+    Combines the module import table with function-local imports, local
+    constructor-typed variables, and ``self`` (when the function is a
+    method).  Shared by the edge extractor and the rule passes in
+    :mod:`repro.check.determinism` / :mod:`repro.check.cachekeys`.
+    """
+
+    def __init__(self, cg: CallGraph, scope: ModuleScope, fn: FunctionNode):
+        self.cg = cg
+        self.scope = scope
+        self.fn = fn
+        self.imports = dict(scope.imports)
+        self._collect_local_imports(fn.node)
+        #: local variable -> dotted class name (from ``v = ClassName(...)``)
+        self.var_types: dict[str, str] = {}
+        self._collect_var_types(fn.node)
+
+    def _collect_local_imports(self, node: ast.AST) -> None:
+        is_init = self.scope.path.endswith("__init__.py")
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Import):
+                for alias in sub.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.imports[local] = alias.name if alias.asname else alias.name.split(".")[0]
+            elif isinstance(sub, ast.ImportFrom):
+                if sub.level:
+                    src = _resolve_relative(self.scope.modname, sub.level, sub.module, is_init)
+                else:
+                    src = sub.module
+                if src is None:
+                    continue
+                for alias in sub.names:
+                    if alias.name != "*":
+                        self.imports[alias.asname or alias.name] = f"{src}.{alias.name}"
+
+    def _collect_var_types(self, node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if not (isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call)):
+                continue
+            dotted = self.resolve_expr(sub.value.func)
+            if dotted is None:
+                continue
+            dotted = self.cg.canonical(dotted)
+            mod, _, last = dotted.rpartition(".")
+            scope = self.cg.modules.get(mod)
+            if scope is not None and last in scope.classes:
+                for t in sub.targets:
+                    if isinstance(t, ast.Name):
+                        self.var_types[t.id] = dotted
+
+    @staticmethod
+    def _chain(expr: ast.expr) -> list[str] | None:
+        """``a.b.c`` -> ["a", "b", "c"]; None for non-name chains."""
+        parts: list[str] = []
+        while isinstance(expr, ast.Attribute):
+            parts.append(expr.attr)
+            expr = expr.value
+        if not isinstance(expr, ast.Name):
+            return None
+        parts.append(expr.id)
+        return parts[::-1]
+
+    def resolve_expr(self, expr: ast.expr) -> str | None:
+        """Dotted name an expression denotes (scanned or external), or None.
+
+        ``self.method`` resolves to the enclosing class's method;
+        ``var.method`` uses constructor-typed locals; otherwise the chain
+        root is resolved through the import table and module bindings.
+        """
+        chain = self._chain(expr)
+        if chain is None:
+            return None
+        root, rest = chain[0], chain[1:]
+        if root == "self" and self.fn.cls is not None and rest:
+            return f"{self.fn.module}.{self.fn.cls}.{rest[0]}"
+        if root in self.var_types and rest:
+            return f"{self.var_types[root]}.{rest[0]}"
+        if root in self.imports:
+            return ".".join([self.imports[root], *rest])
+        if root in self.scope.globals:
+            return ".".join([self.scope.modname, root, *rest])
+        return None
+
+    def resolve_function(self, expr: ast.expr) -> FunctionNode | None:
+        """The scanned function an expression denotes, or None."""
+        dotted = self.resolve_expr(expr)
+        return self.cg.lookup(dotted) if dotted is not None else None
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+def _scan_module(path: Path) -> ModuleScope | None:
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError):
+        return None
+    modname = _module_name(path)
+    scope = ModuleScope(modname=modname, path=str(path), tree=tree, source=source)
+    is_init = path.name == "__init__.py"
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            scope.rebound_globals.update(node.names)
+    for node in tree.body:
+        _scan_top_level(node, scope, is_init)
+    return scope
+
+
+def _scan_top_level(node: ast.stmt, scope: ModuleScope, is_init: bool) -> None:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        scope.globals.add(node.name)
+    elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for t in targets:
+            for n in ast.walk(t):
+                if isinstance(n, ast.Name):
+                    scope.globals.add(n.id)
+    elif isinstance(node, ast.Import):
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            scope.globals.add(local)
+            scope.imports[local] = alias.name if alias.asname else alias.name.split(".")[0]
+    elif isinstance(node, ast.ImportFrom):
+        if node.level:
+            src = _resolve_relative(scope.modname, node.level, node.module, is_init)
+        else:
+            src = node.module
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            scope.globals.add(local)
+            if src is not None:
+                scope.imports[local] = f"{src}.{alias.name}"
+    elif isinstance(node, (ast.If, ast.Try)):
+        for sub in node.body:
+            _scan_top_level(sub, scope, is_init)
+        for handler in getattr(node, "handlers", []):
+            for sub in handler.body:
+                _scan_top_level(sub, scope, is_init)
+        for sub in node.orelse:
+            _scan_top_level(sub, scope, is_init)
+        for sub in getattr(node, "finalbody", []):
+            _scan_top_level(sub, scope, is_init)
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    a = node.args
+    out = [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+    if a.vararg:
+        out.append(a.vararg.arg)
+    if a.kwarg:
+        out.append(a.kwarg.arg)
+    return out
+
+
+def _register_functions(cg: CallGraph, scope: ModuleScope) -> None:
+    def add(node: ast.FunctionDef | ast.AsyncFunctionDef, cls: str | None) -> None:
+        qual = (
+            f"{scope.modname}.{cls}.{node.name}" if cls else f"{scope.modname}.{node.name}"
+        )
+        cg.functions[qual] = FunctionNode(
+            qualname=qual,
+            module=scope.modname,
+            name=node.name,
+            cls=cls,
+            path=scope.path,
+            lineno=node.lineno,
+            node=node,
+            params=_param_names(node),
+        )
+        if cls is not None:
+            cg.method_index.setdefault(node.name, []).append(qual)
+            cg.modules[scope.modname].classes.setdefault(cls, {})[node.name] = qual
+
+    cg.modules[scope.modname] = scope
+    for node in scope.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            add(node, None)
+        elif isinstance(node, ast.ClassDef):
+            scope.classes.setdefault(node.name, {})
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    add(sub, node.name)
+
+
+def _register_aliases(cg: CallGraph, scope: ModuleScope) -> None:
+    """Record ``__init__`` re-exports so ``pkg.name`` follows to ``pkg.mod.name``."""
+    if not scope.path.endswith("__init__.py"):
+        return
+    for local, target in scope.imports.items():
+        cg.aliases[f"{scope.modname}.{local}"] = target
+
+
+def _extract_edges(cg: CallGraph, scope: ModuleScope, fn: FunctionNode) -> None:
+    resolver = FunctionResolver(cg, scope, fn)
+    out = cg.edges.setdefault(fn.qualname, set())
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            target = resolver.resolve_function(node.func)
+            if target is not None:
+                out.add(target.qualname)
+                continue
+            # untyped receiver: fall back to every scanned method of that name
+            if isinstance(node.func, ast.Attribute) and resolver.resolve_expr(node.func) is None:
+                for qual in cg.method_index.get(node.func.attr, ()):
+                    out.add(qual)
+        elif isinstance(node, (ast.Name, ast.Attribute)) and isinstance(
+            getattr(node, "ctx", None), ast.Load
+        ):
+            # bare reference (callback argument, dict value, decorator):
+            # reachable even though never called by name here
+            dotted = resolver.resolve_expr(node)
+            if dotted is not None:
+                target = cg.lookup(dotted)
+                if target is not None and target.qualname != fn.qualname:
+                    out.add(target.qualname)
+
+
+def build_callgraph(paths: Iterable[str | Path]) -> CallGraph:
+    """Parse every ``.py`` file under ``paths`` into a :class:`CallGraph`."""
+    cg = CallGraph()
+    files = _iter_py_files(paths)
+    with obs.span("check.callgraph", files=len(files)):
+        scopes: list[ModuleScope] = []
+        for path in files:
+            scope = _scan_module(path)
+            if scope is not None:
+                scopes.append(scope)
+        for scope in scopes:
+            _register_functions(cg, scope)
+        for scope in scopes:
+            _register_aliases(cg, scope)
+        for scope in scopes:
+            for fn in list(cg.functions.values()):
+                if fn.module == scope.modname:
+                    _extract_edges(cg, scope, fn)
+        reg = obs.registry()
+        reg.incr("check.dataflow.modules", len(cg.modules))
+        reg.incr("check.dataflow.functions", len(cg.functions))
+    return cg

@@ -1,0 +1,24 @@
+"""Version stamp for the static-analysis rule set (``repro.check``).
+
+Bumped whenever the analyzer's rules change in a way that affects what
+counts as a sound cached artifact — the artifact cache mixes this number
+into every :func:`repro.cache.cache_key`, so an analyzer upgrade that
+tightens the determinism/cache-soundness contract invalidates artifacts
+produced under the weaker contract.
+
+Kept in its own dependency-free module so :mod:`repro.cache.artifacts`
+can import it without pulling the whole analysis package into every
+cache-enabled process.
+
+History
+-------
+1   lint (RPR001–RPR005) + contracts (CTR001–CTR008)
+2   dataflow tier: RPR010–RPR012 + runtime sanitizer (SAN001–SAN003)
+"""
+
+from __future__ import annotations
+
+__all__ = ["RULESET_VERSION"]
+
+#: current rule-set revision (append-only; see module docstring)
+RULESET_VERSION = 2

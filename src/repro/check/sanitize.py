@@ -1,0 +1,412 @@
+"""Runtime determinism sanitizer (``python -m repro.check sanitize``).
+
+The static dataflow pass (:mod:`repro.check.determinism`) proves the
+*absence of known nondeterminism patterns*; this module proves the
+*presence of actual determinism* by running a target sweep under the
+configurations that PR 4's contracts promise are equivalent and diffing
+their artifact hash streams:
+
+* **serial vs parallel** — the same sweep with ``jobs=1`` and ``jobs=N``
+  must produce bit-identical intermediate artifacts (SAN001);
+* **cold vs warm cache** — the first (building) and second (loading)
+  runs against one artifact cache must hash identically, i.e. a cached
+  artifact is indistinguishable from a rebuilt one (SAN002);
+* **worker-state hygiene** — module globals snapshotted around every
+  serial task call must not change; a mutation is exactly the write that
+  forked workers lose (SAN003).
+
+Artifacts are collected through the :func:`repro.obs.artifact` hook:
+built networks (CSR arc arrays), next-hop tables, and every per-task
+result (``SimStats``-derived row dicts) stream through the installed
+sink, which canonically hashes them (SHA-256 over dtype/shape/bytes for
+arrays, sorted items for mappings, ``repr`` for scalars).  Comparing two
+streams therefore pinpoints the **first divergent artifact**, not just
+"the final JSON differs".
+
+Findings reuse the shared :class:`~repro.check.findings.Report` model, so
+CLI rendering and exit codes match the lint/contracts/dataflow tiers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import sys
+import tempfile
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro import obs
+
+from .findings import Finding, Report
+
+__all__ = [
+    "SANITIZE_RULES",
+    "artifact_fingerprint",
+    "collect_artifacts",
+    "compare_streams",
+    "sanitize_tasks",
+    "sanitize_sweep",
+]
+
+#: rule code -> one-line summary (catalog in DESIGN.md §7)
+SANITIZE_RULES: dict[str, str] = {
+    "SAN001": "serial vs parallel artifact hash-stream divergence",
+    "SAN002": "cold vs warm cache artifact hash-stream divergence",
+    "SAN003": "module-global mutation observed around a worker task",
+}
+
+
+# ----------------------------------------------------------------------
+# canonical artifact hashing
+# ----------------------------------------------------------------------
+def _feed(h, obj: Any) -> None:
+    """Feed a canonical byte form of ``obj`` into hash ``h``.
+
+    Covers the artifact types the hooks emit: scalars, containers,
+    dataclasses (``SimStats``), numpy arrays (dtype/shape/bytes), and
+    ``Network``-likes (name, directedness, labels, arc arrays).  Unknown
+    objects fall back to ``repr`` — fine for fingerprinting as long as
+    the type's repr is value-based.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        h.update(f"{type(obj).__name__}:{obj!r};".encode())
+    elif isinstance(obj, bytes):
+        h.update(b"bytes:")
+        h.update(obj)
+    elif hasattr(obj, "dtype") and hasattr(obj, "tobytes"):  # numpy array
+        h.update(f"nd:{obj.dtype.str}:{getattr(obj, 'shape', ())};".encode())
+        h.update(obj.tobytes())
+    elif hasattr(obj, "edges_src") and hasattr(obj, "labels"):  # Network-like
+        h.update(f"net:{obj.name}:{obj.directed};".encode())
+        _feed(h, obj.labels)
+        _feed(h, obj.edges_src)
+        _feed(h, obj.edges_dst)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(f"dc:{type(obj).__qualname__};".encode())
+        for f in dataclasses.fields(obj):
+            h.update(f.name.encode())
+            _feed(h, getattr(obj, f.name))
+    elif isinstance(obj, dict):
+        h.update(b"dict;")
+        for k in sorted(obj, key=repr):
+            h.update(repr(k).encode())
+            _feed(h, obj[k])
+    elif isinstance(obj, (list, tuple)):
+        h.update(f"{type(obj).__name__}:{len(obj)};".encode())
+        for item in obj:
+            _feed(h, item)
+    elif isinstance(obj, (set, frozenset)):
+        h.update(b"set;")
+        for r in sorted(repr(x) for x in obj):
+            h.update(r.encode())
+    else:
+        h.update(f"obj:{obj!r};".encode())
+
+
+def artifact_fingerprint(obj: Any) -> str:
+    """Canonical SHA-256 fingerprint of one artifact (first 16 hex chars)."""
+    h = hashlib.sha256()
+    _feed(h, obj)
+    return h.hexdigest()[:16]
+
+
+class _HashCollector:
+    """Artifact sink: records ``(name, fingerprint)`` in arrival order."""
+
+    def __init__(self) -> None:
+        self.stream: list[tuple[str, str]] = []
+
+    def __call__(self, name: str, obj: Any) -> None:
+        self.stream.append((name, artifact_fingerprint(obj)))
+
+
+class collect_artifacts:
+    """``with collect_artifacts() as stream:`` — capture the artifact hash
+    stream of the body (installs/restores the obs artifact sink)."""
+
+    def __enter__(self) -> list[tuple[str, str]]:
+        self._prev = obs.artifact_sink()
+        self._collector = _HashCollector()
+        obs.set_artifact_sink(self._collector)
+        return self._collector.stream
+
+    def __exit__(self, *exc) -> None:
+        obs.set_artifact_sink(self._prev)
+
+
+# ----------------------------------------------------------------------
+# stream comparison
+# ----------------------------------------------------------------------
+def compare_streams(
+    a: list[tuple[str, str]],
+    b: list[tuple[str, str]],
+    a_label: str,
+    b_label: str,
+    code: str,
+    report: Report,
+) -> None:
+    """Diff two hash streams; report the **first** divergent artifact.
+
+    One finding per comparison: the earliest index where the artifact
+    name or fingerprint differs (or a length mismatch when one run
+    produced extra/missing artifacts).
+    """
+    where = f"sanitize[{a_label} vs {b_label}]"
+    report.checked += 1
+    for i, ((na, ha), (nb, hb)) in enumerate(zip(a, b)):
+        if na != nb:
+            report.add(
+                Finding(
+                    where,
+                    0,
+                    code,
+                    f"artifact stream diverges at index {i}: {a_label} produced "
+                    f"`{na}` where {b_label} produced `{nb}`",
+                )
+            )
+            return
+        if ha != hb:
+            report.add(
+                Finding(
+                    where,
+                    0,
+                    code,
+                    f"first divergent artifact `{na}` (index {i}): "
+                    f"{a_label}={ha} vs {b_label}={hb}",
+                )
+            )
+            return
+    if len(a) != len(b):
+        report.add(
+            Finding(
+                where,
+                0,
+                code,
+                f"artifact streams agree for {min(len(a), len(b))} entries but "
+                f"{a_label} emitted {len(a)} artifacts vs {b_label}'s {len(b)}",
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# module-global mutation guard
+# ----------------------------------------------------------------------
+def _fingerprint_value(v: Any) -> tuple:
+    """Cheap structural fingerprint of one module global.
+
+    Immutable scalars compare by value; sized containers by identity +
+    length (a rebind changes the id, an in-place grow/shrink the length);
+    everything else by identity.  Deliberately shallow — deep equality on
+    cached graphs would dominate the run — so same-size in-place element
+    writes can escape it; the static RPR011 pass covers those.
+    """
+    if v is None or isinstance(v, (bool, int, float, str, bytes)):
+        return ("val", repr(v))
+    if isinstance(v, (list, tuple, set, frozenset, dict)):
+        return ("sized", id(v), len(v))
+    return ("obj", id(v))
+
+
+def _snapshot_module(modname: str) -> dict[str, tuple]:
+    mod = sys.modules.get(modname)
+    if mod is None:
+        return {}
+    return {
+        k: _fingerprint_value(v)
+        for k, v in vars(mod).items()
+        if not k.startswith("__")
+    }
+
+
+class _MutationGuard:
+    """Serial task wrapper: snapshots the task function's module globals
+    around every call and records names whose fingerprint changed."""
+
+    def __init__(self) -> None:
+        #: (task repr, module, global name) for every observed mutation
+        self.mutations: list[tuple[str, str, str]] = []
+        self.tasks_checked = 0
+
+    def __call__(self, fn: Callable, ctx: Any, task: Any) -> Any:
+        modname = getattr(fn, "__module__", None)
+        before = _snapshot_module(modname) if modname else {}
+        result = fn(ctx, task)
+        self.tasks_checked += 1
+        if modname:
+            after = _snapshot_module(modname)
+            for name in sorted(set(before) | set(after)):
+                if before.get(name) != after.get(name):
+                    self.mutations.append((repr(task), modname, name))
+        return result
+
+
+# ----------------------------------------------------------------------
+# generic task-list sanitizer
+# ----------------------------------------------------------------------
+def sanitize_tasks(
+    fn: Callable,
+    ctx: Any,
+    tasks: Iterable[Any],
+    jobs: int = 2,
+    where: str = "tasks",
+) -> Report:
+    """Sanitize one task list: serial run under the mutation guard, then a
+    ``jobs``-worker run, then diff the two artifact hash streams.
+
+    The serial pass detects module-global mutation as it happens
+    (SAN003); the parallel pass must reproduce the serial result stream
+    bit-for-bit (SAN001).  Used directly by tests and as the inner engine
+    of :func:`sanitize_sweep`.
+    """
+    from repro.parallel import run_tasks, set_task_wrapper, task_wrapper
+
+    task_list = list(tasks)
+    report = Report()
+    reg = obs.registry()
+    guard = _MutationGuard()
+    prev_wrapper = task_wrapper()
+    set_task_wrapper(guard)
+    try:
+        with collect_artifacts() as serial_stream:
+            run_tasks(fn, ctx, task_list, jobs=1)
+    finally:
+        set_task_wrapper(prev_wrapper)
+    report.checked += guard.tasks_checked
+    for task_repr, modname, name in guard.mutations:
+        report.add(
+            Finding(
+                f"sanitize[{where}]",
+                0,
+                "SAN003",
+                f"task {task_repr} mutated module global `{modname}.{name}`; "
+                f"forked workers lose this write, so jobs>1 diverges from serial",
+            )
+        )
+    with collect_artifacts() as parallel_stream:
+        run_tasks(fn, ctx, task_list, jobs=jobs)
+    compare_streams(
+        serial_stream, parallel_stream, "jobs=1", f"jobs={jobs}", "SAN001", report
+    )
+    reg.incr("check.sanitize.tasks", guard.tasks_checked)
+    reg.incr("check.sanitize.artifacts", len(serial_stream))
+    reg.incr("check.sanitize.mutations", len(guard.mutations))
+    reg.incr("check.sanitize.divergences", len(report.findings) - len(guard.mutations))
+    return report
+
+
+# ----------------------------------------------------------------------
+# end-to-end sweep sanitizer (the CLI entry)
+# ----------------------------------------------------------------------
+def _run_sweep_pass(
+    family: str,
+    params: dict,
+    fault_counts: list[int],
+    jobs: int,
+    trials: int,
+    cycles: int,
+    seed: int,
+    guard: _MutationGuard | None,
+) -> list[tuple[str, str]]:
+    """One instrumented sweep run; returns its artifact hash stream.
+
+    Rebuilds the network through :func:`repro.networks.build` inside the
+    capture window so the graph artifact (cache hit or cold build) is part
+    of the compared stream, builds the cached next-hop table (exercising
+    the store/load path), then runs the fault sweep and hashes its final
+    rows as the closing artifact.
+    """
+    from repro.cache.tables import cached_next_hop_table
+    from repro.fault.sweep import fault_sweep
+    from repro.networks import build
+    from repro.parallel import set_task_wrapper, task_wrapper
+
+    prev_wrapper = task_wrapper()
+    if guard is not None:
+        set_task_wrapper(guard)
+    try:
+        with collect_artifacts() as stream:
+            net = build(family, **params)
+            cached_next_hop_table(net)
+            rows = fault_sweep(
+                net, fault_counts, trials=trials, cycles=cycles, seed=seed, jobs=jobs
+            )
+            obs.artifact("fault_sweep.rows", rows)
+    finally:
+        if guard is not None:
+            set_task_wrapper(prev_wrapper)
+    return stream
+
+
+def sanitize_sweep(
+    family: str = "hsn",
+    params: dict | None = None,
+    fault_counts: Iterable[int] = (0, 2),
+    trials: int = 2,
+    cycles: int = 40,
+    seed: int = 0,
+    jobs: int = 2,
+    cache_dir: str | None = None,
+) -> Report:
+    """Sanitize an end-to-end fault sweep: three instrumented passes.
+
+    1. **cold serial** — empty artifact cache, ``jobs=1``, mutation guard
+       installed (SAN003);
+    2. **warm serial** — same cache, so the network loads instead of
+       building; its stream must match pass 1 (SAN002: a cached artifact
+       is bit-identical to a rebuilt one);
+    3. **warm parallel** — ``jobs`` workers; its stream must match pass 2
+       (SAN001: fan-out is bit-identical to serial).
+
+    ``cache_dir=None`` uses a throwaway temporary directory; pass a real
+    directory to sanitize an existing cache's contents against a rebuild.
+    The process-wide default cache is restored afterwards either way.
+    """
+    from repro import cache as cache_mod
+
+    params = dict(params or {"l": 2, "n": 3})
+    counts = list(fault_counts)
+    report = Report()
+    reg = obs.registry()
+    prev_cache = cache_mod.get_cache()
+    tmp: tempfile.TemporaryDirectory | None = None
+    try:
+        if cache_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-sanitize-")
+            cache_dir = tmp.name
+        cache_mod.configure(cache_dir)
+        with obs.span("check.sanitize", family=family, jobs=jobs):
+            guard = _MutationGuard()
+            cold = _run_sweep_pass(
+                family, params, counts, 1, trials, cycles, seed, guard
+            )
+            report.checked += guard.tasks_checked
+            for task_repr, modname, name in guard.mutations:
+                report.add(
+                    Finding(
+                        f"sanitize[{family}]",
+                        0,
+                        "SAN003",
+                        f"task {task_repr} mutated module global "
+                        f"`{modname}.{name}` during the serial pass",
+                    )
+                )
+            warm = _run_sweep_pass(
+                family, params, counts, 1, trials, cycles, seed, None
+            )
+            compare_streams(cold, warm, "cold-cache", "warm-cache", "SAN002", report)
+            par = _run_sweep_pass(
+                family, params, counts, jobs, trials, cycles, seed, None
+            )
+            compare_streams(warm, par, "jobs=1", f"jobs={jobs}", "SAN001", report)
+            reg.incr("check.sanitize.artifacts", len(cold) + len(warm) + len(par))
+            reg.incr("check.sanitize.mutations", len(guard.mutations))
+            reg.incr(
+                "check.sanitize.divergences",
+                len(report.findings) - len(guard.mutations),
+            )
+    finally:
+        cache_mod.set_cache(prev_cache)
+        if tmp is not None:
+            tmp.cleanup()
+    return report

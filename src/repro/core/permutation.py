@@ -71,7 +71,9 @@ class Permutation:
                 raise ValueError(f"not a permutation of 0..{k - 1}: {img_t!r}")
             seen[i] = True
         self._img = img_t
-        self._hash = hash(img_t)
+        # tuples of small ints hash identically across processes:
+        # PYTHONHASHSEED only perturbs str/bytes/datetime hashing
+        self._hash = hash(img_t)  # repro: noqa[RPR010]
 
     # ------------------------------------------------------------------
     # basic protocol

@@ -134,19 +134,24 @@ def build(name: str, **params: object) -> Network:
         raise KeyError(
             f"unknown network {name!r}; available: {', '.join(sorted(REGISTRY))}"
         ) from None
+    from repro import obs
     from repro.cache import cache_key, get_cache
 
     cache = get_cache()
     if cache is None:
-        return factory(**params)
+        net = factory(**params)
+        obs.artifact(f"registry.build:{name}", net)
+        return net
     key = cache_key("registry.build", family=name, params=params)
     hit = cache.load_network(key)
     if hit is not None:
         hit.cache_key = key
+        obs.artifact(f"registry.build:{name}", hit)
         return hit
     net = factory(**params)
     net.cache_key = key
     cache.store_network(key, net)
+    obs.artifact(f"registry.build:{name}", net)
     return net
 
 

@@ -59,6 +59,9 @@ __all__ = [
     "report",
     "format_report",
     "reset",
+    "artifact",
+    "artifact_sink",
+    "set_artifact_sink",
 ]
 
 _enabled: bool = False
@@ -225,6 +228,46 @@ def trace_instant(name: str, /, **attrs) -> None:
     """Emit a point event to the trace sink (no-op without a sink)."""
     if _trace is not None:
         _trace.instant(name, **attrs)
+
+
+# ----------------------------------------------------------------------
+# artifact hooks (runtime sanitizer)
+# ----------------------------------------------------------------------
+_artifact_sink = None
+
+
+def set_artifact_sink(sink) -> None:
+    """Install (or, with ``None``, remove) the process-wide artifact sink.
+
+    While a sink is installed, instrumented production points — built
+    networks in :func:`repro.networks.registry.build`, per-task results in
+    :func:`repro.parallel.run_tasks`, routing tables in
+    :func:`repro.cache.tables.cached_next_hop_table` — hand every
+    intermediate artifact to ``sink(name, obj)``.  The runtime sanitizer
+    (:mod:`repro.check.sanitize`) uses this to hash the artifact stream of
+    a run; with no sink installed (the default) :func:`artifact` is a
+    single ``None`` check.
+    """
+    global _artifact_sink
+    _artifact_sink = sink
+
+
+def artifact_sink():
+    """The installed artifact sink, or ``None``.
+
+    Call sites with non-trivial artifact *preparation* cost (e.g. a table
+    re-serialization) should gate on this before building the object to
+    hand to :func:`artifact`.
+    """
+    return _artifact_sink
+
+
+def artifact(name: str, obj) -> None:
+    """Offer one intermediate artifact to the installed sink (no-op without
+    one).  The object is passed as-is — hashing/serialization is the
+    sink's job, so the disabled path costs one attribute read."""
+    if _artifact_sink is not None:
+        _artifact_sink(name, obj)
 
 
 # ----------------------------------------------------------------------

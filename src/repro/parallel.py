@@ -32,7 +32,7 @@ from typing import Any, TypeVar
 
 from repro import obs
 
-__all__ = ["effective_jobs", "run_tasks"]
+__all__ = ["effective_jobs", "run_tasks", "set_task_wrapper", "task_wrapper"]
 
 C = TypeVar("C")
 T = TypeVar("T")
@@ -52,6 +52,30 @@ def _run_one(task: Any) -> Any:
         raise RuntimeError("repro.parallel worker used before initialization")
     fn, ctx = _WORKER_STATE
     return fn(ctx, task)
+
+
+#: optional hook wrapping every serial task call (runtime sanitizer)
+_TASK_WRAPPER: Callable[..., Any] | None = None
+
+
+def set_task_wrapper(wrapper: Callable[..., Any] | None) -> None:
+    """Install (or, with ``None``, remove) the serial task wrapper.
+
+    While installed, the ``jobs=1`` path of :func:`run_tasks` calls
+    ``wrapper(fn, ctx, task)`` instead of ``fn(ctx, task)``.  The runtime
+    sanitizer (:mod:`repro.check.sanitize`) uses this to snapshot module
+    globals around each task and flag mutations that would silently
+    diverge between serial and forked execution.  The wrapper must return
+    ``fn(ctx, task)``'s result unchanged; it applies to the serial path
+    only (worker processes are observed through their result stream).
+    """
+    global _TASK_WRAPPER
+    _TASK_WRAPPER = wrapper
+
+
+def task_wrapper() -> Callable[..., Any] | None:
+    """The installed serial task wrapper, or ``None``."""
+    return _TASK_WRAPPER
 
 
 def effective_jobs(jobs: int | None, num_tasks: int | None = None) -> int:
@@ -101,9 +125,19 @@ def run_tasks(
     reg.gauge_max("parallel.jobs", jobs)
     if jobs <= 1:
         with obs.span("parallel.run", jobs=1, tasks=len(task_list)):
-            return [fn(ctx, t) for t in task_list]
-    with obs.span("parallel.run", jobs=jobs, tasks=len(task_list)):
-        with ProcessPoolExecutor(
-            max_workers=jobs, initializer=_init_worker, initargs=(fn, ctx)
-        ) as pool:
-            return list(pool.map(_run_one, task_list, chunksize=chunksize))
+            if _TASK_WRAPPER is not None:
+                results = [_TASK_WRAPPER(fn, ctx, t) for t in task_list]
+            else:
+                results = [fn(ctx, t) for t in task_list]
+    else:
+        with obs.span("parallel.run", jobs=jobs, tasks=len(task_list)):
+            with ProcessPoolExecutor(
+                max_workers=jobs, initializer=_init_worker, initargs=(fn, ctx)
+            ) as pool:
+                results = list(pool.map(_run_one, task_list, chunksize=chunksize))
+    if obs.artifact_sink() is not None:
+        # runtime sanitizer: results come back in task order, so this hash
+        # stream is directly comparable across jobs settings
+        for i, r in enumerate(results):
+            obs.artifact(f"parallel.result[{i}]", r)
+    return results
