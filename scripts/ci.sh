@@ -50,6 +50,34 @@ echo "== degraded-mode simulator no-fault overhead budget (<5%) =="
 python benchmarks/bench_fault_overhead.py
 
 echo
+echo "== simulator throughput budgets (>=10x vs reference, 1M pkts <60s) =="
+python benchmarks/bench_sim_throughput.py
+
+echo
+echo "== simulator artifact hash: seeded run reproduces one fingerprint =="
+python - <<'PYEOF'
+import numpy as np
+from repro import networks
+from repro.check.sanitize import artifact_fingerprint
+from repro.sim import (
+    PacketSimulator,
+    ReferencePacketSimulator,
+    uniform_random_array,
+)
+
+net = networks.build("hsn", l=2, n=3)  # 64 nodes
+w = uniform_random_array(net, 0.3, 80, np.random.default_rng(7))
+fps = [
+    artifact_fingerprint(cls(net).run(w).as_dict())
+    for cls in (PacketSimulator, PacketSimulator, ReferencePacketSimulator)
+]
+assert fps[0] == fps[1], f"event core not reproducible: {fps[0]} != {fps[1]}"
+assert fps[0] == fps[2], f"event core diverged from reference: {fps[0]} != {fps[2]}"
+print(f"seeded sim fingerprint {fps[0]} stable across reruns and engines")
+PYEOF
+echo "OK"
+
+echo
 echo "== fault-tolerance example smoke test =="
 python examples/fault_tolerance.py > /dev/null
 echo "OK"

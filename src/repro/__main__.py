@@ -106,6 +106,7 @@ def cmd_faults(args) -> int:
         cycles=args.cycles,
         seed=args.seed,
         jobs=args.jobs,
+        engine=args.engine,
     )
     if args.network is not None:
         g = build(args.network, **_parse_params(args.param))
@@ -260,6 +261,13 @@ def main(argv: list[str] | None = None) -> int:
     p_flt.add_argument("--rate", type=float, default=0.05)
     p_flt.add_argument("--cycles", type=int, default=60)
     p_flt.add_argument("--seed", type=int, default=0)
+    p_flt.add_argument(
+        "--engine",
+        choices=["event", "reference"],
+        default="event",
+        help="simulator core: the batched event core (default) or the "
+        "retained per-event oracle (slow; for cross-checking)",
+    )
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the persistent artifact cache"

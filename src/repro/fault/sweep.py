@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.network import Network
 from repro.parallel import run_tasks
-from repro.sim.simulator import PacketSimulator
+from repro.sim.sweeps import _engine_class
 from repro.sim.workloads import uniform_random
 
 from .plan import FaultPlan
@@ -60,7 +60,8 @@ def _fault_trial(ctx: dict, task: tuple[int, int]) -> dict | None:
     if faults:
         fault_rng = np.random.default_rng([seed, faults, trial])
         plan = _sample_plan(net, ctx["kind"], faults, cycles, fault_rng)
-    sim = PacketSimulator(
+    cls = _engine_class(ctx.get("engine", "event"))
+    sim = cls(
         net,
         delays=ctx["delays"],
         faults=plan,
@@ -91,6 +92,7 @@ def fault_sweep(
     retransmit_timeout: int = 16,
     max_retries: int = 4,
     jobs: int = 1,
+    engine: str = "event",
 ) -> list[dict]:
     """Delivery-ratio / latency-dilation curve for one network.
 
@@ -103,10 +105,13 @@ def fault_sweep(
     baseline exists in the sweep or nothing was delivered).
 
     ``jobs`` fans the ``(fault count, trial)`` grid out over a process pool
-    (``0`` = all cores); results are bit-identical to ``jobs=1``.
+    (``0`` = all cores); results are bit-identical to ``jobs=1``.  ``engine``
+    selects the simulator core (``"event"`` or ``"reference"``, see
+    :data:`repro.sim.sweeps.ENGINES`); both give bit-identical rows.
     """
     if kind not in ("link", "node"):
         raise ValueError(f"fault kind must be 'link' or 'node', got {kind!r}")
+    _engine_class(engine)  # fail fast, before any pool spin-up
     counts = sorted(set(int(f) for f in fault_counts))
     ctx = {
         "net": net,
@@ -118,6 +123,7 @@ def fault_sweep(
         "max_cycles_factor": max_cycles_factor,
         "retransmit_timeout": retransmit_timeout,
         "max_retries": max_retries,
+        "engine": engine,
     }
     tasks = [(faults, trial) for faults in counts for trial in range(trials)]
     results = run_tasks(_fault_trial, ctx, tasks, jobs=jobs)

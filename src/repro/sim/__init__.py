@@ -1,16 +1,18 @@
 """Packet-level simulation substrate for the Section-5 latency claims."""
 
 from .policies import (
+    ChannelIndex,
     arc_endpoints,
     on_off_module_delay,
     uniform_delay,
     unit_node_capacity,
     unit_offmodule_capacity,
 )
+from .reference import ReferencePacketSimulator
 from .simulator import Packet, PacketSimulator
 from .wormhole import Message, WormholeSimulator
-from .stats import SimStats
-from .sweeps import offered_load_sweep, saturation_rate
+from .stats import LatencyHistogram, SimStats, StreamingStats
+from .sweeps import ENGINES, offered_load_sweep, saturation_rate
 from .workloads import (
     bit_reversal_pairs,
     complement_pairs,
@@ -19,13 +21,17 @@ from .workloads import (
     random_permutation_traffic,
     transpose_pairs,
     uniform_random,
+    uniform_random_array,
 )
 
 __all__ = [
     "arc_endpoints",
     "bit_reversal_pairs",
+    "ChannelIndex",
     "complement_pairs",
+    "ENGINES",
     "hotspot",
+    "LatencyHistogram",
     "Message",
     "offered_load_sweep",
     "on_off_module_delay",
@@ -33,11 +39,14 @@ __all__ = [
     "PacketSimulator",
     "permutation_traffic",
     "random_permutation_traffic",
+    "ReferencePacketSimulator",
     "saturation_rate",
     "SimStats",
+    "StreamingStats",
     "transpose_pairs",
     "uniform_delay",
     "uniform_random",
+    "uniform_random_array",
     "WormholeSimulator",
     "unit_node_capacity",
     "unit_offmodule_capacity",

@@ -1,10 +1,168 @@
-"""Simulation statistics."""
+"""Simulation statistics: streaming accumulation and the aggregate snapshot.
+
+Both simulator engines — the batched event-driven core and the retained
+per-packet reference oracle — report results through the *same* streaming
+accumulator (:class:`StreamingStats`), so their :class:`SimStats` are
+bit-identical whenever their event semantics agree.  Nothing here retains
+per-packet state: latency percentiles come from an exact integer-value
+histogram (:class:`LatencyHistogram`) whose memory is bounded by the number
+of *distinct* latency values, never by the packet count, which is what lets
+a single run handle millions of packets.
+"""
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-__all__ = ["SimStats"]
+__all__ = ["LatencyHistogram", "StreamingStats", "SimStats", "LATENCY_BINS"]
+
+#: dense unit-width bins kept as a flat array; rarer larger values spill
+#: into a dict keyed by exact value
+LATENCY_BINS = 4096
+
+
+class LatencyHistogram:
+    """Exact histogram of non-negative integer values.
+
+    Values below ``bins`` land in a dense count array; anything larger
+    spills into a sparse value → count dict.  Because every integer value
+    keeps its exact count, any order statistic of the observed multiset is
+    recoverable exactly — :meth:`percentile` reproduces
+    ``np.percentile(values, q)`` (the default linear interpolation) bit for
+    bit without retaining the values themselves.
+    """
+
+    __slots__ = ("bins", "count", "_dense", "_sparse")
+
+    def __init__(self, bins: int = LATENCY_BINS):
+        if bins < 1:
+            raise ValueError("histogram needs at least one dense bin")
+        self.bins = int(bins)
+        self.count = 0
+        self._dense = np.zeros(self.bins, dtype=np.int64)
+        self._sparse: dict[int, int] = {}
+
+    def add(self, value: int) -> None:
+        """Record one observation."""
+        value = int(value)
+        if value < 0:
+            raise ValueError(f"histogram values must be >= 0, got {value}")
+        if value < self.bins:
+            self._dense[value] += 1
+        else:
+            self._sparse[value] = self._sparse.get(value, 0) + 1
+        self.count += 1
+
+    def add_array(self, values: np.ndarray) -> None:
+        """Record a batch of observations (int array, all >= 0)."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        if values.min() < 0:
+            raise ValueError("histogram values must be >= 0")
+        small = values < self.bins
+        dense = values[small] if not small.all() else values
+        if dense.size:
+            self._dense += np.bincount(dense, minlength=self.bins)
+        if dense.size != values.size:
+            big, cnt = np.unique(values[~small], return_counts=True)
+            for v, c in zip(big.tolist(), cnt.tolist()):
+                self._sparse[v] = self._sparse.get(v, 0) + c
+        self.count += int(values.size)
+
+    # ------------------------------------------------------------------
+    def value_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, counts)`` over observed values, ascending, counts > 0."""
+        vals = np.flatnonzero(self._dense)
+        cnts = self._dense[vals]
+        if self._sparse:
+            sv = np.array(sorted(self._sparse), dtype=np.int64)
+            sc = np.array([self._sparse[v] for v in sv.tolist()], dtype=np.int64)
+            vals = np.concatenate([vals.astype(np.int64), sv])
+            cnts = np.concatenate([cnts, sc])
+        return vals.astype(np.int64), cnts.astype(np.int64)
+
+    def kth(self, k: int) -> int:
+        """The ``k``-th smallest observation (0-based)."""
+        if not 0 <= k < self.count:
+            raise IndexError(f"order statistic {k} of {self.count} observations")
+        vals, cnts = self.value_counts()
+        cum = np.cumsum(cnts)
+        return int(vals[np.searchsorted(cum, k, side="right")])
+
+    def percentile(self, q: float) -> float:
+        """``np.percentile(values, q)`` (linear interpolation), exactly.
+
+        Mirrors NumPy's arithmetic — virtual index ``(q/100)·(n−1)``, then
+        ``a + (b−a)·γ`` below γ=0.5 and ``b − (b−a)·(1−γ)`` above — so the
+        streaming result is bit-identical to the retained-array one.
+        """
+        if self.count == 0:
+            return float("nan")
+        n = self.count
+        virtual = (float(q) / 100.0) * (n - 1)
+        lo = int(math.floor(virtual))
+        lo = min(max(lo, 0), n - 1)
+        gamma = virtual - lo
+        a = self.kth(lo)
+        b = self.kth(min(lo + 1, n - 1))
+        diff = b - a
+        if gamma >= 0.5:
+            return float(b - diff * (1.0 - gamma))
+        return float(a + diff * gamma)
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(count={self.count}, bins={self.bins}, "
+            f"overflow={len(self._sparse)})"
+        )
+
+
+class StreamingStats:
+    """Running aggregates over delivered packets — O(1) state per packet.
+
+    Sums are exact Python integers, so accumulation order cannot change any
+    derived mean; the latency histogram keeps percentiles exact (see
+    :class:`LatencyHistogram`).  Both simulator engines feed this and then
+    snapshot through :meth:`SimStats.from_streaming`.
+    """
+
+    __slots__ = ("delivered", "lat_sum", "hops_sum", "off_sum", "lat_max", "hist")
+
+    def __init__(self, bins: int = LATENCY_BINS):
+        self.delivered = 0
+        self.lat_sum = 0
+        self.hops_sum = 0
+        self.off_sum = 0
+        self.lat_max = -1
+        self.hist = LatencyHistogram(bins)
+
+    def observe(self, latency: int, hops: int, off_hops: int) -> None:
+        """Record one delivered packet."""
+        latency, hops, off_hops = int(latency), int(hops), int(off_hops)
+        self.delivered += 1
+        self.lat_sum += latency
+        self.hops_sum += hops
+        self.off_sum += off_hops
+        if latency > self.lat_max:
+            self.lat_max = latency
+        self.hist.add(latency)
+
+    def observe_array(self, lat, hops, off_hops) -> None:
+        """Record a batch of delivered packets (aligned int arrays)."""
+        lat = np.asarray(lat)
+        if lat.size == 0:
+            return
+        self.delivered += int(lat.size)
+        self.lat_sum += int(lat.sum())
+        self.hops_sum += int(np.asarray(hops).sum())
+        self.off_sum += int(np.asarray(off_hops).sum())
+        m = int(lat.max())
+        if m > self.lat_max:
+            self.lat_max = m
+        self.hist.add_array(lat)
 
 
 class SimStats:
@@ -38,6 +196,57 @@ class SimStats:
         self.__dict__.update(kw)
 
     @classmethod
+    def from_streaming(
+        cls,
+        acc: StreamingStats,
+        injected: int,
+        horizon,
+        busy_time,
+        arc_sources,
+        arc_targets,
+        module_of,
+        num_nodes,
+        dropped: int = 0,
+        retransmitted: int = 0,
+        rerouted: int = 0,
+    ) -> "SimStats":
+        """Snapshot a finished run from its streaming accumulator.
+
+        This is the single aggregation path: the reference oracle funnels
+        its retained packets through the same accumulator, so equal event
+        semantics give bit-identical stats.
+        """
+        delivered = acc.delivered
+        horizon = max(int(horizon), 1)
+        util = busy_time / horizon
+        if module_of is not None and len(arc_sources):
+            off_mask = module_of[arc_sources] != module_of[arc_targets]
+            off_util = float(util[off_mask].mean()) if off_mask.any() else 0.0
+            on_util = float(util[~off_mask].mean()) if (~off_mask).any() else 0.0
+        else:
+            off_util = on_util = float("nan")
+        injected = int(injected)
+        return cls(
+            injected=injected,
+            delivered=delivered,
+            undelivered=injected - delivered,
+            delivery_ratio=delivered / injected if injected else float("nan"),
+            dropped=int(dropped),
+            retransmitted=int(retransmitted),
+            rerouted=int(rerouted),
+            mean_latency=acc.lat_sum / delivered if delivered else float("nan"),
+            p99_latency=acc.hist.percentile(99) if delivered else float("nan"),
+            max_latency=acc.lat_max if delivered else -1,
+            mean_hops=acc.hops_sum / delivered if delivered else float("nan"),
+            mean_off_hops=acc.off_sum / delivered if delivered else float("nan"),
+            throughput=delivered / horizon / max(num_nodes, 1),
+            mean_utilization=float(util.mean()) if len(util) else 0.0,
+            mean_off_utilization=off_util,
+            mean_on_utilization=on_util,
+            horizon=horizon,
+        )
+
+    @classmethod
     def from_run(
         cls,
         packets,
@@ -51,39 +260,28 @@ class SimStats:
         retransmitted: int = 0,
         rerouted: int = 0,
     ) -> "SimStats":
-        lat = np.array([p.latency for p in packets if p.t_deliver >= 0], dtype=np.int64)
-        hops = np.array([p.hops for p in packets if p.t_deliver >= 0], dtype=np.int64)
-        offh = np.array(
-            [p.off_hops for p in packets if p.t_deliver >= 0], dtype=np.int64
-        )
-        delivered = len(lat)
-        horizon = max(int(horizon), 1)
-        util = busy_time / horizon
-        if module_of is not None and len(arc_sources):
-            off_mask = module_of[arc_sources] != module_of[arc_targets]
-            off_util = float(util[off_mask].mean()) if off_mask.any() else 0.0
-            on_util = float(util[~off_mask].mean()) if (~off_mask).any() else 0.0
-        else:
-            off_util = on_util = float("nan")
-        injected = len(packets)
-        return cls(
-            injected=injected,
-            delivered=delivered,
-            undelivered=injected - delivered,
-            delivery_ratio=delivered / injected if injected else float("nan"),
-            dropped=int(dropped),
-            retransmitted=int(retransmitted),
-            rerouted=int(rerouted),
-            mean_latency=float(lat.mean()) if delivered else float("nan"),
-            p99_latency=float(np.percentile(lat, 99)) if delivered else float("nan"),
-            max_latency=int(lat.max()) if delivered else -1,
-            mean_hops=float(hops.mean()) if delivered else float("nan"),
-            mean_off_hops=float(offh.mean()) if delivered else float("nan"),
-            throughput=delivered / horizon / max(num_nodes, 1),
-            mean_utilization=float(util.mean()) if len(util) else 0.0,
-            mean_off_utilization=off_util,
-            mean_on_utilization=on_util,
+        """Aggregate retained per-packet objects (reference/wormhole path).
+
+        Accepts any objects with ``t_deliver`` / ``latency`` / ``hops`` /
+        ``off_hops`` attributes and feeds them through the same streaming
+        accumulator the event core uses.
+        """
+        acc = StreamingStats()
+        for p in packets:
+            if p.t_deliver >= 0:
+                acc.observe(p.latency, p.hops, p.off_hops)
+        return cls.from_streaming(
+            acc,
+            injected=len(packets),
             horizon=horizon,
+            busy_time=busy_time,
+            arc_sources=arc_sources,
+            arc_targets=arc_targets,
+            module_of=module_of,
+            num_nodes=num_nodes,
+            dropped=dropped,
+            retransmitted=retransmitted,
+            rerouted=rerouted,
         )
 
     def as_dict(self) -> dict:

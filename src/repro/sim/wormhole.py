@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.network import Network
 from repro.routing.table import NextHopTable
 
+from .policies import ChannelIndex
 from .stats import SimStats
 
 __all__ = ["WormholeSimulator", "Message"]
@@ -71,10 +72,10 @@ class WormholeSimulator:
         module_of: np.ndarray | None = None,
     ):
         self.net = net
-        csr = net.adjacency_csr()
-        self._indptr = csr.indptr
-        self._indices = csr.indices
-        nchan = len(self._indices)
+        self.channels = ChannelIndex(net)
+        self._indptr = self.channels.indptr
+        self._indices = self.channels.indices
+        nchan = len(self.channels)
         if isinstance(delays, (int, np.integer)):
             self.delays = np.full(nchan, int(delays), dtype=np.int64)
         else:
@@ -91,14 +92,6 @@ class WormholeSimulator:
         self.module_of = (
             None if module_of is None else np.asarray(module_of, dtype=np.int64)
         )
-
-    def _channel(self, u: int, v: int) -> int:
-        lo, hi = self._indptr[u], self._indptr[u + 1]
-        row = self._indices[lo:hi]
-        pos = np.searchsorted(row, v)
-        if pos >= len(row) or row[pos] != v:
-            raise ValueError(f"no channel {u}->{v}")
-        return int(lo + pos)
 
     def run(
         self,
@@ -145,7 +138,7 @@ class WormholeSimulator:
                     f"message {m.mid} exceeded the hop guard — routing loop?"
                 )
             nxt = self.next_hop(node, m.dst)
-            c = self._channel(node, nxt)
+            c = self.channels.lookup(node, nxt)
             d = int(self.delays[c])
             # header may enter the channel when both the channel is free
             # and the header has arrived
@@ -168,9 +161,7 @@ class WormholeSimulator:
             packets=messages,
             horizon=horizon,
             busy_time=busy_time,
-            arc_sources=np.repeat(
-                np.arange(self.net.num_nodes), np.diff(self._indptr)
-            ),
+            arc_sources=self.channels.sources,
             arc_targets=self._indices,
             module_of=mod,
             num_nodes=self.net.num_nodes,

@@ -1,0 +1,342 @@
+"""Property and determinism tests for the batched event-driven core.
+
+Covers the event-queue contracts that the randomized equivalence suite
+exercises only statistically: the FIFO-then-pid contention tie-break on a
+hand-computed case, same-seed bit-stability across runs and across process
+-pool fan-out, warm-up-window invariance, the streaming latency histogram
+against exact retained-array math, and the shared :class:`ChannelIndex`
+arc lookup (including the negative-id aliasing trap).
+"""
+
+import numpy as np
+import pytest
+
+from repro import networks as nw
+from repro.core.network import RoutingError
+from repro.fault import FaultPlan, fault_sweep
+from repro.sim import (
+    ChannelIndex,
+    LatencyHistogram,
+    PacketSimulator,
+    ReferencePacketSimulator,
+    offered_load_sweep,
+    uniform_random,
+    uniform_random_array,
+)
+
+
+class TestFifoTieBreak:
+    """Two packets contend for the same channel in the same cycle: the
+    channel serves them in injection (pid) order, not interleaved —
+    hand-computable on a 3-node path with 2-cycle channels."""
+
+    def test_contention_served_in_injection_order(self):
+        p = nw.path(3)
+        # A(0->2) first: A crosses 0->1 during [0,2), B during [2,4);
+        # A crosses 1->2 during [2,4) -> latencies {A: 4, B: 4}
+        s = PacketSimulator(p, delays=2).run([(0, 0, 2), (0, 0, 1)])
+        assert s.delivered == 2
+        assert s.mean_latency == 4.0
+        assert s.max_latency == 4
+
+    def test_swapping_injection_order_changes_the_loser(self):
+        p = nw.path(3)
+        # B(0->1) first: B crosses during [0,2) (latency 2); A waits,
+        # crosses 0->1 during [2,4) and 1->2 during [4,6) (latency 6)
+        s = PacketSimulator(p, delays=2).run([(0, 0, 1), (0, 0, 2)])
+        assert s.delivered == 2
+        assert s.mean_latency == 4.0
+        assert s.max_latency == 6
+
+    @pytest.mark.parametrize(
+        "inj", [[(0, 0, 2), (0, 0, 1)], [(0, 0, 1), (0, 0, 2)]]
+    )
+    def test_tie_break_matches_reference(self, inj):
+        p = nw.path(3)
+        assert PacketSimulator(p, delays=2).run(inj) == (
+            ReferencePacketSimulator(p, delays=2).run(inj)
+        )
+
+    def test_many_way_contention_is_deterministic(self):
+        # a star: every leaf fires at the hub's single receiver each cycle
+        st = nw.star_graph(4)
+        rng = np.random.default_rng(0)
+        w = uniform_random(st, 0.9, 40, rng)
+        a = PacketSimulator(st, delays=2).run(w)
+        b = PacketSimulator(st, delays=2).run(w)
+        assert a == b
+        assert a == ReferencePacketSimulator(st, delays=2).run(w)
+
+
+class TestSameSeedDeterminism:
+    def _run(self, seed, faults=None):
+        net = nw.hypercube(4)
+        rng = np.random.default_rng(seed)
+        w = uniform_random(net, 0.4, 50, rng)
+        return PacketSimulator(net, faults=faults).run(w)
+
+    def test_same_seed_same_stats(self):
+        assert self._run(11) == self._run(11)
+
+    def test_same_seed_same_stats_degraded(self):
+        plan = FaultPlan().fail_link(3, 0, 1).fail_node(10, 9).repair_node(30, 9)
+        assert self._run(11, plan) == self._run(11, plan)
+
+    def test_sweep_rows_identical_across_jobs(self):
+        net = nw.hypercube(3)
+        kw = dict(rates=[0.05, 0.2, 0.4], cycles=40, seed=5)
+        assert offered_load_sweep(net, 1, jobs=1, **kw) == (
+            offered_load_sweep(net, 1, jobs=2, **kw)
+        )
+
+    def test_sweep_rows_identical_across_engines(self):
+        net = nw.hypercube(3)
+        kw = dict(rates=[0.05, 0.3], cycles=30, seed=5)
+        assert offered_load_sweep(net, 1, engine="event", **kw) == (
+            offered_load_sweep(net, 1, engine="reference", **kw)
+        )
+
+    def test_fault_sweep_identical_across_jobs_and_engines(self):
+        net = nw.hypercube(3)
+        kw = dict(fault_counts=[0, 2], trials=2, cycles=30, seed=3)
+        serial = fault_sweep(net, **kw)
+        assert serial == fault_sweep(net, jobs=2, **kw)
+        assert serial == fault_sweep(net, engine="reference", **kw)
+
+    def test_unknown_engine_rejected_before_running(self):
+        with pytest.raises(ValueError, match="unknown simulator engine"):
+            offered_load_sweep(nw.ring(6), 1, rates=[0.1], engine="warp")
+        with pytest.raises(ValueError, match="unknown simulator engine"):
+            fault_sweep(nw.ring(6), [0], engine="warp")
+
+
+class TestWarmupInvariance:
+    """Shifting every injection time by a constant warm-up offset must not
+    change any per-packet observable — only the horizon moves."""
+
+    def test_shifted_window_same_latencies(self):
+        net = nw.hypercube(4)
+        rng = np.random.default_rng(21)
+        w = uniform_random(net, 0.5, 40, rng)
+        shift = 10_000
+        w_shifted = [(t + shift, s, d) for t, s, d in w]
+        a = PacketSimulator(net).run(w)
+        b = PacketSimulator(net).run(w_shifted)
+        da, db = a.as_dict(), b.as_dict()
+        assert db.pop("horizon") == da.pop("horizon") + shift
+        # throughput/utilization divide by the horizon, so they move too
+        for k in ("throughput", "mean_utilization"):
+            da.pop(k), db.pop(k)
+        norm = lambda d: {k: (None if v != v else v) for k, v in d.items()}  # noqa: E731
+        assert norm(da) == norm(db)
+
+
+class TestStreamingStats:
+    def test_streaming_matches_exact_retained_math(self):
+        # the reference engine retains packets: recompute its aggregates
+        # with plain numpy over exact per-packet arrays and compare
+        net = nw.hypercube(4)
+        rng = np.random.default_rng(3)
+        w = uniform_random(net, 0.6, 60, rng)
+        sim = ReferencePacketSimulator(net, delays=2)
+        inj = [(t, s, d) for t, s, d in w]
+        stats = sim.run(inj)
+        # re-simulate by hand bookkeeping: rely on the event core instead
+        ev = PacketSimulator(net, delays=2)
+        assert ev.run(inj) == stats
+        assert stats.delivered == len(inj)
+        lat = np.array(
+            [t for t in self._latencies(net, inj)], dtype=np.int64
+        )
+        assert stats.mean_latency == float(np.mean(lat))
+        assert stats.p99_latency == float(np.percentile(lat, 99))
+        assert stats.max_latency == int(lat.max())
+
+    @staticmethod
+    def _latencies(net, inj):
+        """Exact per-packet latencies via a bare re-run of the oracle."""
+        sim = ReferencePacketSimulator(net, delays=2)
+        validated = sim._validated(inj)
+        # re-run while peeking at retained packets through from_run's input
+        import heapq
+
+        from repro.sim.reference import Packet
+
+        packets = []
+        events = []
+        for t, s, d in validated:
+            p = Packet(len(packets), s, d, t)
+            packets.append(p)
+            events.append((t, len(events), p.pid, s, -1, t))
+        heapq.heapify(events)
+        busy = np.zeros(len(sim.channels), dtype=np.int64)
+        seq = len(events)
+        while events:
+            t, _, pid, node, _, _ = heapq.heappop(events)
+            p = packets[pid]
+            if node == p.dst:
+                p.t_deliver = t
+                continue
+            nxt = sim.next_hop(node, p.dst)
+            c = sim.channels.lookup(node, nxt)
+            tx = max(t, int(busy[c]))
+            fin = tx + int(sim.delays[c])
+            busy[c] = fin
+            p.hops += 1
+            seq += 1
+            heapq.heappush(events, (fin, seq, pid, nxt, c, tx))
+        return [p.latency for p in packets if p.t_deliver >= 0]
+
+    def test_histogram_percentiles_match_numpy_fuzz(self):
+        rng = np.random.default_rng(0xBEEF)
+        for _ in range(40):
+            n = int(rng.integers(1, 400))
+            # mix small values with overflow past the dense bins
+            vals = rng.integers(0, 10_000, size=n)
+            h = LatencyHistogram()
+            h.add_array(vals)
+            assert h.count == n
+            for q in (0.0, 25.0, 50.0, 99.0, 100.0, float(rng.uniform(0, 100))):
+                assert h.percentile(q) == float(np.percentile(vals, q))
+
+    def test_histogram_scalar_and_batch_agree(self):
+        vals = [0, 1, 1, 7, 4095, 4096, 99_999]
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for v in vals:
+            a.add(v)
+        b.add_array(np.array(vals))
+        assert a.count == b.count
+        va, ca = a.value_counts()
+        vb, cb = b.value_counts()
+        assert (va == vb).all() and (ca == cb).all()
+        assert a.percentile(99) == b.percentile(99)
+
+    def test_histogram_rejects_negative(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError, match=">= 0"):
+            h.add(-1)
+        with pytest.raises(ValueError, match=">= 0"):
+            h.add_array(np.array([3, -2]))
+
+    def test_kth_order_statistic(self):
+        h = LatencyHistogram()
+        h.add_array(np.array([5, 1, 9, 1, 4096]))
+        assert [h.kth(k) for k in range(5)] == [1, 1, 5, 9, 4096]
+        with pytest.raises(IndexError):
+            h.kth(5)
+
+
+class TestChannelIndex:
+    def test_lookup_matches_csr_positions(self):
+        net = nw.hypercube(3)
+        idx = ChannelIndex(net)
+        csr = net.adjacency_csr()
+        for u in range(net.num_nodes):
+            for p in range(csr.indptr[u], csr.indptr[u + 1]):
+                v = int(csr.indices[p])
+                assert idx.lookup(u, v) == p
+
+    def test_missing_arc_raises_routing_error(self):
+        idx = ChannelIndex(nw.ring(8))
+        with pytest.raises(RoutingError, match="no channel 0->4"):
+            idx.lookup(0, 4)
+
+    def test_negative_target_does_not_alias(self):
+        # u*n + v with v = -1 collides with arc (u-1, n-1) unless range
+        # checked; both lookup paths must reject it
+        idx = ChannelIndex(nw.ring(8))
+        with pytest.raises(RoutingError, match="no channel 1->-1"):
+            idx.lookup(1, -1)
+        with pytest.raises(RoutingError, match="no channel 1->-1"):
+            idx.lookup_many(np.array([1]), np.array([-1]))
+
+    def test_lookup_many_matches_scalar(self):
+        net = nw.hsn(2, nw.hypercube_nucleus(2))
+        idx = ChannelIndex(net)
+        u, v = idx.sources, idx.indices
+        got = idx.lookup_many(u, v)
+        assert (got == np.arange(len(idx))).all()
+        assert [idx.lookup(int(a), int(b)) for a, b in zip(u[:10], v[:10])] == (
+            got[:10].tolist()
+        )
+
+    def test_lookup_many_reports_first_missing(self):
+        idx = ChannelIndex(nw.ring(8))
+        with pytest.raises(RoutingError, match="no channel 2->5"):
+            idx.lookup_many(np.array([0, 2, 3]), np.array([1, 5, 9]))
+
+
+class TestArrayWorkload:
+    def test_array_workload_matches_list_workload(self):
+        net = nw.hypercube(4)
+        wl = uniform_random(net, 0.3, 50, np.random.default_rng(9))
+        wa = uniform_random_array(net, 0.3, 50, np.random.default_rng(9))
+        assert [tuple(r) for r in wa.tolist()] == wl
+
+    def test_array_workload_properties(self):
+        net = nw.ring(16)
+        w = uniform_random_array(net, 0.5, 30, np.random.default_rng(1))
+        assert w.dtype == np.int64 and w.ndim == 2 and w.shape[1] == 3
+        t, s, d = w[:, 0], w[:, 1], w[:, 2]
+        assert (t >= 0).all() and (t < 30).all()
+        assert (s != d).all()
+        assert (0 <= s).all() and (s < 16).all()
+        assert (0 <= d).all() and (d < 16).all()
+        # rows sorted by (t, src): the injection scan is row-major
+        assert (np.diff(t) >= 0).all()
+
+    def test_empty_and_zero_rate(self):
+        net = nw.ring(8)
+        rng = np.random.default_rng(0)
+        assert uniform_random_array(net, 0.0, 20, rng).shape == (0, 3)
+        assert uniform_random_array(net, 0.5, 0, rng).shape == (0, 3)
+
+    def test_simulator_accepts_array_injections(self):
+        net = nw.hypercube(3)
+        w = uniform_random_array(net, 0.4, 40, np.random.default_rng(4))
+        wl = [tuple(r) for r in w.tolist()]
+        assert PacketSimulator(net).run(w) == PacketSimulator(net).run(wl)
+        assert PacketSimulator(net).run(w) == (
+            ReferencePacketSimulator(net).run(w)
+        )
+
+    def test_bad_array_shape_rejected(self):
+        net = nw.ring(8)
+        with pytest.raises(ValueError, match=r"shape \(N, 3\)"):
+            PacketSimulator(net).run(np.zeros((4, 2), dtype=np.int64))
+
+
+class TestValidationParity:
+    """The batched validator must throw the reference's exact messages."""
+
+    @pytest.mark.parametrize(
+        "inj,msg",
+        [
+            ([(0, 0, 1), (-3, 1, 2)], "injection #1: injection time"),
+            ([(0, 9, 1)], "node ids must be in"),
+            ([(0, 0, 1), (1, 2, 2)], "injection #1: src == dst == 2"),
+        ],
+    )
+    def test_same_error_messages(self, inj, msg):
+        net = nw.ring(8)
+        with pytest.raises(ValueError, match=msg) as ev:
+            PacketSimulator(net).run(inj)
+        with pytest.raises(ValueError, match=msg) as ref:
+            ReferencePacketSimulator(net).run(inj)
+        assert str(ev.value) == str(ref.value)
+
+    def test_hop_guard_message_parity(self):
+        net = nw.ring(8)
+
+        def orbit(u, dst):
+            # walks the ring forever, backing off whenever the next node is
+            # the destination: trips the hop guard identically in both engines
+            return (u + 1) % 8 if (u + 1) % 8 != dst else (u - 1) % 8
+
+        sim = PacketSimulator(net, next_hop=orbit)
+        ref = ReferencePacketSimulator(net, next_hop=orbit)
+        with pytest.raises(RuntimeError) as a:
+            sim.run([(0, 0, 4), (0, 1, 5)])
+        with pytest.raises(RuntimeError) as b:
+            ref.run([(0, 0, 4), (0, 1, 5)])
+        assert str(a.value) == str(b.value)
