@@ -78,6 +78,15 @@ PYEOF
 echo "OK"
 
 echo
+echo "== percolation + orbit-collapse budgets (>=10x collapse, sweep <30s) =="
+python benchmarks/bench_percolation.py
+
+echo
+echo "== percolation CLI smoke (coarse grid, threshold estimate) =="
+python -m repro faults percolation --smoke > /dev/null
+echo "OK"
+
+echo
 echo "== fault-tolerance example smoke test =="
 python examples/fault_tolerance.py > /dev/null
 echo "OK"

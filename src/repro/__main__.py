@@ -8,6 +8,9 @@ Usage::
     python -m repro summary --size 256
     python -m repro faults --faults 0,1,2,4 --trials 3 --jobs 4
     python -m repro faults --network hypercube --param n=4 --kind node
+    python -m repro faults percolation --kind node --trials 8 --jobs 4
+    python -m repro faults percolation --smoke
+    python -m repro faults exhaustive --network hypercube --param n=4 --k 3
     python -m repro cache info
     python -m repro cache clear --cache-dir ~/.cache/repro
     python -m repro check lint src
@@ -90,7 +93,7 @@ def cmd_summary(args) -> int:
     return 0
 
 
-def cmd_faults(args) -> int:
+def _faults_sweep_mode(args) -> int:
     from repro.analysis.report import render_table
     from repro.fault import fault_comparison, fault_sweep
     from repro.networks import build
@@ -115,6 +118,103 @@ def cmd_faults(args) -> int:
         rows = fault_comparison(fault_counts=fault_counts, **kw)
     print(render_table(rows))
     return 0
+
+
+def _parse_probs(spec: str | None) -> list[float] | None:
+    if spec is None:
+        return None
+    try:
+        return [float(p) for p in spec.split(",") if p != ""]
+    except ValueError:
+        raise SystemExit(f"--probs expects comma-separated floats, got {spec!r}")
+
+
+def _faults_percolation_mode(args) -> int:
+    from repro.analysis.report import render_table
+    from repro.fault import (
+        estimate_threshold,
+        percolation_comparison,
+        percolation_sweep,
+    )
+    from repro.networks import build
+
+    probs = _parse_probs(args.probs)
+    trials = args.trials
+    traffic = not args.no_traffic
+    if args.smoke:
+        # CI-sized run: one small symmetric family, coarse grid, no traffic
+        probs = probs or [0.2, 0.4, 0.6, 0.8, 1.0]
+        trials = min(trials, 3)
+        traffic = False
+        if args.network is None:
+            args.network = "hypercube"
+            args.param = args.param or ["n=4"]
+    if args.network is not None:
+        g = build(args.network, **_parse_params(args.param))
+        rows = percolation_sweep(
+            g, probs, trials, kind=args.kind, seed=args.seed, jobs=args.jobs
+        )
+        print(render_table(rows))
+        thr = estimate_threshold(rows)
+        print(f"estimated threshold (giant_frac=0.5): {thr:.4g}")
+        return 0
+    rows = percolation_comparison(
+        None,
+        probs,
+        trials,
+        kind=args.kind,
+        seed=args.seed,
+        jobs=args.jobs,
+        engine=args.engine,
+        traffic=traffic,
+        rate=args.rate,
+        cycles=args.cycles,
+    )
+    print(render_table(rows))
+    return 0
+
+
+def _faults_exhaustive_mode(args) -> int:
+    from repro.analysis.report import render_table
+    from repro.fault import exhaustive_fault_sweep
+    from repro.networks import build
+
+    if args.network is None:
+        raise SystemExit("faults exhaustive requires --network")
+    g = build(args.network, **_parse_params(args.param))
+    result = exhaustive_fault_sweep(g, args.k, kind=args.kind, jobs=args.jobs)
+    s = result["summary"]
+    print(
+        f"{g.name}: {s['patterns']} {args.kind}-fault patterns (k={args.k}) "
+        f"in {s['orbits']} orbits (collapse {s['collapse_ratio']:.1f}x)"
+    )
+    print(
+        f"connected: {s['connected_patterns']}/{s['patterns']}"
+        f"{' (ALL)' if s['all_connected'] else ''}; "
+        f"routability {s['routability']:.4f}; "
+        f"mean components {s['mean_components']:.3f}"
+    )
+    rows = [
+        {
+            "pattern": str(r["pattern"]),
+            "weight": r["weight"],
+            "components": r["components"],
+            "giant": r["giant"],
+            "connected": r["connected"],
+        }
+        for r in result["orbits"]
+    ]
+    print(render_table(rows))
+    return 0
+
+
+def cmd_faults(args) -> int:
+    mode = {
+        "sweep": _faults_sweep_mode,
+        "percolation": _faults_percolation_mode,
+        "exhaustive": _faults_exhaustive_mode,
+    }[args.mode]
+    return mode(args)
 
 
 def cmd_figure(args) -> int:
@@ -244,8 +344,18 @@ def main(argv: list[str] | None = None) -> int:
 
     p_flt = sub.add_parser(
         "faults",
-        help="Monte-Carlo resilience sweep (delivery ratio vs fault count)",
+        help="resilience: Monte-Carlo sweeps, percolation, exhaustive orbits",
         parents=[profiled, tuned],
+    )
+    p_flt.add_argument(
+        "mode",
+        nargs="?",
+        choices=["sweep", "percolation", "exhaustive"],
+        default="sweep",
+        help="sweep: Monte-Carlo delivery vs fault count (default); "
+        "percolation: giant-component/routability vs survival probability "
+        "with threshold estimates; exhaustive: certify every k-fault "
+        "pattern via automorphism orbits",
     )
     p_flt.add_argument(
         "--network",
@@ -267,6 +377,31 @@ def main(argv: list[str] | None = None) -> int:
         default="event",
         help="simulator core: the batched event core (default) or the "
         "retained per-event oracle (slow; for cross-checking)",
+    )
+    p_flt.add_argument(
+        "--probs",
+        default=None,
+        metavar="P1,P2,...",
+        help="percolation mode: survival-probability grid "
+        "(default: 0.05..1.0 in steps of 0.05)",
+    )
+    p_flt.add_argument(
+        "--k",
+        type=int,
+        default=2,
+        help="exhaustive mode: number of simultaneous faults to certify",
+    )
+    p_flt.add_argument(
+        "--no-traffic",
+        action="store_true",
+        help="percolation comparison: skip degraded-traffic probes around "
+        "the threshold",
+    )
+    p_flt.add_argument(
+        "--smoke",
+        action="store_true",
+        help="percolation mode: CI-sized run (coarse grid, few trials, "
+        "no traffic; defaults to hypercube n=4)",
     )
 
     p_cache = sub.add_parser(

@@ -9,28 +9,65 @@ The subsystem behind the paper's graceful-degradation story:
 * :class:`FaultyNetwork` — a zero-copy mask over a network with stable node
   ids (:mod:`repro.fault.view`);
 * :class:`ResilientRouter` — primary → alternate-minimal → survivor-path
-  adaptive routing (:mod:`repro.fault.resilient`);
+  adaptive routing with bounded per-epoch caches
+  (:mod:`repro.fault.resilient`);
 * :func:`fault_sweep` / :func:`fault_comparison` — Monte-Carlo resilience
   curves, exposed as the ``faults`` CLI subcommand
-  (:mod:`repro.fault.sweep`).
+  (:mod:`repro.fault.sweep`);
+* :func:`percolation_sweep` / :func:`percolation_comparison` /
+  :func:`estimate_threshold` / :func:`threshold_traffic_runs` — random
+  node/link-survival percolation: giant-component and routability curves
+  over a survival-probability grid, per-family threshold estimates, and
+  degraded-traffic probes around the threshold
+  (:mod:`repro.fault.percolation`);
+* :func:`exhaustive_fault_sweep` / :func:`brute_force_fault_sweep` /
+  :func:`fault_signature` / :class:`OrbitDetourCache` — symmetry-collapsed
+  exhaustive certification of all ``k``-fault patterns, one evaluation
+  per automorphism orbit (:mod:`repro.fault.orbits`).
 
 Pass a :class:`FaultPlan` to :class:`repro.sim.PacketSimulator` to simulate
 in degraded mode; an empty plan is bit-identical to the fault-free
 simulator.
 """
 
+from .orbits import (
+    OrbitDetourCache,
+    brute_force_fault_sweep,
+    cached_automorphism_group,
+    exhaustive_fault_sweep,
+    fault_signature,
+)
+from .percolation import (
+    default_probability_grid,
+    estimate_threshold,
+    masked_components,
+    percolation_comparison,
+    percolation_sweep,
+    threshold_traffic_runs,
+)
 from .plan import FaultEvent, FaultPlan, FaultTimeline
 from .resilient import ResilientRouter
 from .sweep import default_resilience_cases, fault_comparison, fault_sweep
 from .view import FaultyNetwork
 
 __all__ = [
+    "brute_force_fault_sweep",
+    "cached_automorphism_group",
+    "default_probability_grid",
     "default_resilience_cases",
+    "estimate_threshold",
+    "exhaustive_fault_sweep",
     "FaultEvent",
     "fault_comparison",
     "FaultPlan",
+    "fault_signature",
     "fault_sweep",
     "FaultTimeline",
     "FaultyNetwork",
+    "masked_components",
+    "OrbitDetourCache",
+    "percolation_comparison",
+    "percolation_sweep",
     "ResilientRouter",
+    "threshold_traffic_runs",
 ]

@@ -1,0 +1,549 @@
+"""Symmetry-collapsed exhaustive fault certification.
+
+Ganesan (arXiv:1703.08109, arXiv:1604.04855) observes that on a
+vertex-/edge-transitive network, two fault patterns related by an
+automorphism degrade the network *identically* — same component
+structure, same surviving-path lengths, same routability.  Certifying
+"every pattern of k faults leaves the network connected" therefore only
+requires simulating one representative per *orbit* of the automorphism
+group acting on k-subsets, weighted by the orbit size.  On symmetric
+super-IP families this collapses the pattern count by one to two orders
+of magnitude, which turns exhaustive small-fault sweeps from
+combinatorially infeasible into routine.
+
+Machinery:
+
+* :func:`cached_automorphism_group` — the full group as a ``(G, n)``
+  permutation array, persisted as a content-addressed artifact
+  (``.orb.npz``) when :mod:`repro.cache` is configured;
+* :func:`fault_signature` — the canonical (lexicographically smallest)
+  image of a fault pattern under the group: patterns share a signature
+  iff they are automorphic;
+* :func:`exhaustive_fault_sweep` — enumerate *all* ``C(·, k)`` patterns,
+  collapse them to orbit representatives, evaluate each representative's
+  survivor graph once, and expand with multiplicity weights;
+  :func:`brute_force_fault_sweep` is the uncollapsed twin used to prove
+  exact agreement (integer connectivity sums make the equality exact,
+  not approximate);
+* :class:`OrbitDetourCache` — a canonicalizing survivor-path cache for
+  :class:`~repro.fault.resilient.ResilientRouter`: symmetric fault
+  patterns share detour entries by mapping queries through the
+  automorphism that canonicalizes them.
+
+Representative evaluation fans out over :mod:`repro.parallel`
+(bit-identical at any ``--jobs``); the ``orbits.collapse_ratio`` obs
+gauge records the achieved compression.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from itertools import combinations
+
+import numpy as np
+
+from repro import obs
+from repro.core.network import Network
+from repro.metrics.symmetry import automorphism_group
+from repro.parallel import run_tasks
+
+from .percolation import _component_sums, masked_components
+from .plan import _undirected_edges
+
+__all__ = [
+    "cached_automorphism_group",
+    "fault_signature",
+    "exhaustive_fault_sweep",
+    "brute_force_fault_sweep",
+    "OrbitDetourCache",
+]
+
+
+# ----------------------------------------------------------------------
+# content-addressed orbit tables
+# ----------------------------------------------------------------------
+def _topology_key_parts(net: Network) -> dict:
+    """Stable cache-key material for a topology.
+
+    Networks built through the cached registry carry a ``cache_key``; for
+    anything else the undirected edge list itself is hashed, so equal
+    topologies share orbit artifacts however they were constructed.
+    """
+    if net.cache_key is not None:
+        return {"graph": net.cache_key}
+    edges = np.asarray(_undirected_edges(net), dtype=np.int64).reshape(-1, 2)
+    digest = hashlib.sha256(edges.tobytes()).hexdigest()
+    return {"n": net.num_nodes, "edges_sha": digest}
+
+
+def cached_automorphism_group(
+    net: Network,
+    node_limit: int = 512,
+    max_size: int = 100_000,
+) -> np.ndarray:
+    """The full automorphism group, reloaded from the artifact cache when
+    possible.
+
+    Orbit tables are pure functions of the topology, so when
+    :mod:`repro.cache` is configured the ``(G, n)`` permutation array is
+    stored once (suffix ``.orb.npz``) and every later sweep loads it
+    instead of re-running VF2 enumeration.  Falls back to
+    :func:`repro.metrics.symmetry.automorphism_group` with no cache.
+    """
+    from repro.cache import cache_key, get_cache
+
+    cache = get_cache()
+    if cache is None:
+        return automorphism_group(net, node_limit=node_limit, max_size=max_size)
+    # node_limit/max_size are feasibility guards, not content knobs: the
+    # enumerated group is identical whenever the call succeeds
+    key = cache_key("fault.orbits.group", **_topology_key_parts(net))  # repro: noqa[RPR012]
+    arrays = cache.load_arrays(key, suffix="orb")
+    if arrays is not None and "group" in arrays:
+        return arrays["group"].astype(np.int64)
+    group = automorphism_group(net, node_limit=node_limit, max_size=max_size)
+    cache.store_arrays(key, {"group": group}, suffix="orb")
+    return group
+
+
+# ----------------------------------------------------------------------
+# canonical fault signatures
+# ----------------------------------------------------------------------
+def _pattern_array(net: Network, k: int, kind: str) -> tuple[np.ndarray, np.ndarray]:
+    """All ``C(·, k)`` fault patterns as element-index combos.
+
+    Returns ``(elements, combos)``: for ``kind="node"`` the elements are
+    node ids (``(n,)``) and for ``kind="link"`` packed edge codes
+    ``u * n + v`` of the sorted undirected edge list; ``combos`` is a
+    ``(C, k)`` array of indices into ``elements``.
+    """
+    n = net.num_nodes
+    if kind == "node":
+        elements = np.arange(n, dtype=np.int64)
+    else:
+        edges = np.asarray(_undirected_edges(net), dtype=np.int64).reshape(-1, 2)
+        elements = edges[:, 0] * n + edges[:, 1]
+    count = len(elements)
+    if k > count:
+        raise ValueError(
+            f"cannot fault {k} {kind}s: {net.name!r} has only {count}"
+        )
+    if k == 0:
+        return elements, np.empty((1, 0), dtype=np.int64)
+    combos = np.asarray(
+        list(combinations(range(count), k)), dtype=np.int64
+    ).reshape(-1, k)
+    return elements, combos
+
+
+def _element_images(net: Network, group: np.ndarray, kind: str) -> np.ndarray:
+    """Image of every faultable element under every automorphism.
+
+    ``(G, count)`` int array: for nodes the permutations themselves, for
+    links the packed code of each edge's image (an automorphism maps
+    edges to edges, so every image is again a valid packed edge code).
+    """
+    if kind == "node":
+        return group
+    n = net.num_nodes
+    edges = np.asarray(_undirected_edges(net), dtype=np.int64).reshape(-1, 2)
+    img_u = group[:, edges[:, 0]]
+    img_v = group[:, edges[:, 1]]
+    return np.minimum(img_u, img_v) * n + np.maximum(img_u, img_v)
+
+
+def _image_index(elements: np.ndarray, images: np.ndarray) -> np.ndarray:
+    """Convert element-valued images to element-*index* images."""
+    idx = np.searchsorted(elements, images)
+    if not (elements[idx] == images).all():
+        raise ValueError("automorphism image is not a faultable element")
+    return idx
+
+
+def _canonical_codes(
+    index_images: np.ndarray, combos: np.ndarray, count: int, chunk: int = 4096
+) -> np.ndarray:
+    """Canonical orbit code of every pattern (vectorized, chunked).
+
+    A pattern's code packs its sorted element indices into one int64
+    (base ``count`` polynomial); the canonical code is the minimum over
+    the whole group of the code of the pattern's image.  Patterns share a
+    canonical code iff they lie in the same orbit.
+    """
+    c, k = combos.shape
+    if k == 0:
+        return np.zeros(c, dtype=np.int64)
+    if count ** k >= 2**62:
+        raise ValueError(
+            f"pattern space too large to pack: {count} elements, k={k}"
+        )
+    out = np.empty(c, dtype=np.int64)
+    for start in range(0, c, chunk):
+        block = combos[start : start + chunk]  # (B, k)
+        imgs = index_images[:, block]  # (G, B, k)
+        imgs = np.sort(imgs, axis=2)
+        codes = imgs[:, :, 0].astype(np.int64)
+        for j in range(1, k):
+            codes = codes * count + imgs[:, :, j]
+        out[start : start + len(block)] = codes.min(axis=0)
+    return out
+
+
+def _decode_pattern(code: int, count: int, k: int) -> tuple[int, ...]:
+    """Invert the base-``count`` packing back to sorted element indices."""
+    idx = []
+    for _ in range(k):
+        idx.append(int(code % count))
+        code //= count
+    return tuple(reversed(idx))
+
+
+def _pattern_tuple(net: Network, elements: np.ndarray, idx: tuple[int, ...], kind: str):
+    """Element indices -> the user-facing fault pattern (ids or pairs)."""
+    if kind == "node":
+        return tuple(int(elements[i]) for i in idx)
+    n = net.num_nodes
+    return tuple((int(elements[i]) // n, int(elements[i]) % n) for i in idx)
+
+
+def fault_signature(
+    net: Network,
+    pattern,
+    *,
+    kind: str = "node",
+    group: np.ndarray | None = None,
+):
+    """Canonical form of one fault pattern under the automorphism group.
+
+    ``pattern`` is a sequence of node ids (``kind="node"``) or undirected
+    ``(u, v)`` pairs (``kind="link"``).  Returns the lexicographically
+    smallest automorphic image, in the same format, sorted — two patterns
+    are automorphic iff their signatures are equal, so the signature
+    names the orbit.
+    """
+    if kind not in ("node", "link"):
+        raise ValueError(f"fault kind must be 'node' or 'link', got {kind!r}")
+    if group is None:
+        group = cached_automorphism_group(net)
+    n = net.num_nodes
+    if kind == "node":
+        ids = np.asarray(sorted(int(v) for v in pattern), dtype=np.int64)
+        if len(ids) == 0:
+            return ()
+        imgs = np.sort(group[:, ids], axis=1)  # (G, k)
+        best = imgs[np.lexsort(imgs.T[::-1])[0]]
+        return tuple(int(v) for v in best)
+    pairs = [(min(int(u), int(v)), max(int(u), int(v))) for u, v in pattern]
+    if len(pairs) == 0:
+        return ()
+    arr = np.asarray(sorted(pairs), dtype=np.int64)
+    img_u = group[:, arr[:, 0]]
+    img_v = group[:, arr[:, 1]]
+    codes = np.sort(np.minimum(img_u, img_v) * n + np.maximum(img_u, img_v), axis=1)
+    best = codes[np.lexsort(codes.T[::-1])[0]]
+    return tuple((int(c) // n, int(c) % n) for c in best)
+
+
+# ----------------------------------------------------------------------
+# exhaustive sweeps
+# ----------------------------------------------------------------------
+def _pattern_verdict(ctx: dict, pattern) -> dict:
+    """Survivor-graph verdict of one fault pattern (picklable task fn).
+
+    ``pattern`` is the user-facing tuple (node ids or edge pairs).
+    Verdicts are integer connectivity primitives so weighted expansion
+    reproduces the brute-force sums *exactly*.
+    """
+    net = ctx["net"]
+    n = net.num_nodes
+    edges = np.asarray(_undirected_edges(net), dtype=np.int64).reshape(-1, 2)
+    node_alive = np.ones(n, dtype=bool)
+    edge_alive = np.ones(len(edges), dtype=bool)
+    if ctx["kind"] == "node":
+        node_alive[list(pattern)] = False
+    else:
+        codes = edges[:, 0] * n + edges[:, 1]
+        dead = np.asarray([u * n + v for u, v in pattern], dtype=np.int64)
+        edge_alive &= ~np.isin(codes, dead)
+    labels = masked_components(net, node_alive, edge_alive)
+    sums = _component_sums(labels[0], node_alive)
+    sums["connected"] = bool(
+        sums["alive"] > 0 and sums["components"] == 1
+    )
+    return sums
+
+
+_VERDICT_KEYS = ("alive", "components", "giant", "conn_pairs", "total_pairs")
+
+
+def _summary(weights: list[int], verdicts: list[dict], patterns: int, orbits: int) -> dict:
+    """Weighted integer aggregation shared by both sweep flavors."""
+    sums = {k: 0 for k in _VERDICT_KEYS}
+    connected = 0
+    min_giant = None
+    for w, v in zip(weights, verdicts):
+        for k in _VERDICT_KEYS:
+            sums[k] += w * v[k]
+        if v["connected"]:
+            connected += w
+        if min_giant is None or v["giant"] < min_giant:
+            min_giant = v["giant"]
+    return {
+        "patterns": patterns,
+        "orbits": orbits,
+        "collapse_ratio": patterns / orbits if orbits else float("nan"),
+        "connected_patterns": connected,
+        "disconnected_patterns": patterns - connected,
+        "all_connected": connected == patterns,
+        "mean_components": sums["components"] / patterns if patterns else float("nan"),
+        "min_giant": min_giant if min_giant is not None else 0,
+        "routability": (
+            sums["conn_pairs"] / sums["total_pairs"]
+            if sums["total_pairs"]
+            else 1.0
+        ),
+        "sums": sums,
+    }
+
+
+def _validate_k(k) -> int:
+    if not isinstance(k, (int, np.integer)) or isinstance(k, bool):
+        raise ValueError(f"fault count k must be an integer, got {k!r}")
+    if k < 0:
+        raise ValueError(f"fault count k must be >= 0, got {k}")
+    return int(k)
+
+
+def exhaustive_fault_sweep(
+    net: Network,
+    k: int,
+    *,
+    kind: str = "node",
+    jobs: int = 1,
+    group: np.ndarray | None = None,
+) -> dict:
+    """Certify *every* pattern of ``k`` faults, one evaluation per orbit.
+
+    Enumerates all ``C(·, k)`` node or link fault patterns, collapses
+    them to canonical orbit representatives under the automorphism group,
+    evaluates each representative's survivor graph once (components,
+    giant size, pairwise routability — via the same batched union-find as
+    the percolation sweep), and expands with multiplicity weights.
+
+    Returns a dict with:
+
+    * ``"summary"`` — weighted aggregate over all patterns (integer sums,
+      so it equals :func:`brute_force_fault_sweep`'s summary exactly);
+    * ``"orbits"`` — one row per orbit: the canonical ``pattern``, its
+      ``weight`` (orbit size), and the verdict fields;
+    * ``"by_signature"`` — canonical pattern -> verdict, for mapping any
+      concrete pattern (via :func:`fault_signature`) to its certified
+      verdict.
+
+    ``jobs`` fans representative evaluation out over a process pool
+    (bit-identical to serial).  Raises ``ValueError`` for ``k < 0``,
+    non-integer ``k``, more faults than elements, or a group too large to
+    enumerate.  The achieved compression is recorded on the
+    ``orbits.collapse_ratio`` obs gauge.
+    """
+    k = _validate_k(k)
+    if kind not in ("node", "link"):
+        raise ValueError(f"fault kind must be 'node' or 'link', got {kind!r}")
+    if kind == "node" and k >= net.num_nodes:
+        raise ValueError("cannot fault every node")
+    if group is None:
+        group = cached_automorphism_group(net)
+    elements, combos = _pattern_array(net, k, kind)
+    images = _element_images(net, group, kind)
+    index_images = _image_index(elements, images)
+    with obs.span("fault.orbits.collapse", network=net.name, k=k, kind=kind):
+        codes = _canonical_codes(index_images, combos, len(elements))
+    uniq, counts = np.unique(codes, return_counts=True)
+    reps = [
+        _pattern_tuple(net, elements, _decode_pattern(int(c), len(elements), k), kind)
+        for c in uniq.tolist()
+    ]
+    ctx = {"net": net, "kind": kind}
+    with obs.span("fault.orbits.evaluate", orbits=len(reps)):
+        verdicts = run_tasks(_pattern_verdict, ctx, reps, jobs=jobs)
+    weights = [int(c) for c in counts.tolist()]
+    summary = _summary(weights, verdicts, len(combos), len(reps))
+    reg = obs.registry()
+    reg.gauge("orbits.collapse_ratio", summary["collapse_ratio"])
+    reg.incr("orbits.patterns", len(combos))
+    reg.incr("orbits.evaluated", len(reps))
+    orbit_rows = [
+        {"pattern": rep, "weight": w, **v}
+        for rep, w, v in zip(reps, weights, verdicts)
+    ]
+    return {
+        "network": net.name,
+        "kind": kind,
+        "k": k,
+        "summary": summary,
+        "orbits": orbit_rows,
+        "by_signature": {rep: v for rep, v in zip(reps, verdicts)},
+    }
+
+
+def brute_force_fault_sweep(
+    net: Network,
+    k: int,
+    *,
+    kind: str = "node",
+    jobs: int = 1,
+) -> dict:
+    """Evaluate every ``C(·, k)`` fault pattern directly (no collapse).
+
+    The uncollapsed twin of :func:`exhaustive_fault_sweep`, used to prove
+    the orbit machinery exact: both produce identical ``"summary"``
+    fields (up to the collapse bookkeeping), and every pattern row here
+    must match the orbit verdict of its :func:`fault_signature`.
+    Intended for small instances only.
+    """
+    k = _validate_k(k)
+    if kind not in ("node", "link"):
+        raise ValueError(f"fault kind must be 'node' or 'link', got {kind!r}")
+    if kind == "node" and k >= net.num_nodes:
+        raise ValueError("cannot fault every node")
+    elements, combos = _pattern_array(net, k, kind)
+    patterns = [
+        _pattern_tuple(net, elements, tuple(int(i) for i in row), kind)
+        for row in combos
+    ]
+    ctx = {"net": net, "kind": kind}
+    verdicts = run_tasks(_pattern_verdict, ctx, patterns, jobs=jobs)
+    summary = _summary([1] * len(patterns), verdicts, len(patterns), len(patterns))
+    return {
+        "network": net.name,
+        "kind": kind,
+        "k": k,
+        "summary": summary,
+        "patterns": [
+            {"pattern": p, "weight": 1, **v} for p, v in zip(patterns, verdicts)
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# orbit-canonical detour cache
+# ----------------------------------------------------------------------
+#: sentinel distinguishing "no cached entry" from a cached "no path exists"
+_MISS = object()
+
+
+class OrbitDetourCache:
+    """Survivor-path cache shared across automorphic fault configurations.
+
+    The stage-3 fallback of :class:`~repro.fault.resilient.ResilientRouter`
+    computes a shortest live path on the survivor graph — the most
+    expensive routing operation in degraded mode.  On a symmetric
+    network, the survivor graph under fault pattern ``F`` is isomorphic
+    to the one under ``g(F)`` for every automorphism ``g``, so their
+    detours are the same paths up to relabeling.  This cache
+    canonicalizes each query ``(dead nodes, dead links, src, dst)`` to
+    the lexicographically smallest automorphic image, stores paths in
+    canonical coordinates, and maps hits back through the inverse
+    automorphism — queries under symmetric fault patterns share entries.
+
+    Entries are LRU-bounded (``maxsize``); ``cache_info()`` reports hits,
+    misses, and current size.  One cache instance may serve many routers
+    over the same topology (that is the point).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        group: np.ndarray | None = None,
+        maxsize: int = 4096,
+    ):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.net = net
+        self.group = group if group is not None else cached_automorphism_group(net)
+        self.n = net.num_nodes
+        # inverse permutations: inv[g][group[g][v]] = v
+        self.inv = np.empty_like(self.group)
+        rows = np.arange(self.group.shape[0])[:, None]
+        self.inv[rows, self.group] = np.arange(self.n)[None, :]
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[tuple, tuple[int, ...] | None] = OrderedDict()
+        self._stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+    def canonize(self, dead_nodes, dead_links, u: int, dst: int):
+        """Canonical key of a query plus the automorphism index achieving it.
+
+        Returns ``(key, g)``: ``key`` is the lexicographically smallest
+        ``(node image, link image, u image, dst image)`` tuple over the
+        group and ``g`` the row index of an automorphism realizing it
+        (ties broken deterministically by row order).
+        """
+        n = self.n
+        nodes = np.asarray(sorted(int(v) for v in dead_nodes), dtype=np.int64)
+        pairs = sorted(
+            (min(int(a), int(b)), max(int(a), int(b))) for a, b in dead_links
+        )
+        links = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        cols = []
+        if len(nodes):
+            cols.append(np.sort(self.group[:, nodes], axis=1))
+        if len(links):
+            img_u = self.group[:, links[:, 0]]
+            img_v = self.group[:, links[:, 1]]
+            cols.append(
+                np.sort(np.minimum(img_u, img_v) * n + np.maximum(img_u, img_v), axis=1)
+            )
+        cols.append(self.group[:, [u, dst]])
+        mat = np.concatenate(cols, axis=1)  # (G, k_n + k_l + 2)
+        g = int(np.lexsort(mat.T[::-1])[0])
+        return tuple(int(x) for x in mat[g]), g
+
+    def get(self, key: tuple, g: int):
+        """Cached survivor path for a canonical key, mapped back through
+        the query's automorphism — :data:`_MISS` when absent.
+
+        ``None`` is a genuine cached verdict ("no survivor path exists"),
+        distinct from a miss.
+        """
+        if key not in self._entries:
+            self._stats["misses"] += 1
+            return _MISS
+        self._entries.move_to_end(key)
+        self._stats["hits"] += 1
+        obs.registry().incr("routing.resilient.orbit_hits")
+        canonical = self._entries[key]
+        if canonical is None:
+            return None
+        inv = self.inv[g]
+        return tuple(int(inv[x]) for x in canonical)
+
+    def put(self, key: tuple, g: int, path: tuple[int, ...] | None) -> None:
+        """Store a survivor path (or ``None``) under its canonical key."""
+        if path is not None:
+            perm = self.group[g]
+            path = tuple(int(perm[x]) for x in path)
+        self._entries[key] = path
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self._stats["evictions"] += 1
+
+    def cache_info(self) -> dict:
+        """Hit/miss/eviction counters plus size bounds (memoize_lru style)."""
+        return {
+            **self._stats,
+            "maxsize": self.maxsize,
+            "currsize": len(self._entries),
+        }
+
+    def cache_clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        info = self.cache_info()
+        return (
+            f"OrbitDetourCache({self.net.name!r}, group={len(self.group)}, "
+            f"entries={info['currsize']}, hits={info['hits']})"
+        )

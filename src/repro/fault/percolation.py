@@ -1,0 +1,467 @@
+"""Percolation sweeps: where does the network actually break?
+
+Jin & Reidys (arXiv:0909.4037) study random induced subgraphs of
+transposition Cayley graphs — exactly the symmetric super-IP families of
+the paper — and show a sharp giant-component threshold in the survival
+probability.  This module measures that curve empirically for *any*
+registry family: each node (or link) survives independently with
+probability ``p``, and the survivor graph's connectivity is summarized as
+a function of ``p``.
+
+Engine shape:
+
+* **Monotone coupling.**  Each trial draws one uniform per node (or per
+  link) and an entity survives at probability ``p`` iff its draw is
+  ``< p``.  Survivor sets are therefore *nested* across the probability
+  grid — the same trial at a higher ``p`` keeps strictly more of the
+  network — so giant-component curves are monotone in ``p`` sample by
+  sample, not just in expectation, and comparisons across ``p`` are
+  paired.
+* **Batched union-find.**  Connected components for all grid points of a
+  trial are labeled in one flat pass: surviving edges of every grid point
+  are packed into a single offset edge array and resolved by vectorized
+  min-label propagation with pointer doubling — no per-node Python loops
+  (the ``percolation.components`` obs counter tallies components found).
+* **Deterministic fan-out.**  Trials are independent tasks whose RNG
+  streams derive from ``(seed, trial)`` alone, so ``jobs`` fans them out
+  over a process pool with bit-identical results to the serial run (see
+  :mod:`repro.parallel`).
+
+The aggregate rows use pooled integer sums (survivor counts, giant sizes,
+connected pair counts) divided once at the end, so results are exactly
+reproducible regardless of aggregation order.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import obs
+from repro.core.network import Network
+from repro.parallel import run_tasks
+from repro.sim.sweeps import _engine_class
+from repro.sim.workloads import uniform_random
+
+from .plan import FaultPlan, _undirected_edges
+
+__all__ = [
+    "percolation_sweep",
+    "percolation_comparison",
+    "estimate_threshold",
+    "threshold_traffic_runs",
+    "default_probability_grid",
+    "masked_components",
+]
+
+
+def default_probability_grid() -> list[float]:
+    """The default survival-probability grid: 0.05 to 1.0 in steps of 0.05."""
+    return [round(0.05 * i, 2) for i in range(1, 21)]
+
+
+def _validated_probs(probs) -> np.ndarray:
+    """A non-empty, strictly increasing survival-probability grid in [0, 1].
+
+    Raises a descriptive ``ValueError`` otherwise — threshold estimation
+    interpolates adjacent grid points in order, so an empty, unsorted, or
+    out-of-range grid would silently produce a meaningless answer.
+    """
+    out = np.asarray([float(p) for p in probs], dtype=np.float64)
+    if out.size == 0:
+        raise ValueError("probs must be a non-empty list of survival probabilities")
+    for p in out:
+        if not 0.0 <= p <= 1.0 or math.isnan(p):
+            raise ValueError(f"survival probabilities must lie in [0, 1], got {p!r}")
+    if (np.diff(out) <= 0).any():
+        raise ValueError(
+            f"probs must be strictly increasing (threshold estimation "
+            f"interpolates them in order), got {out.tolist()!r}"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# batched connected components
+# ----------------------------------------------------------------------
+def _components_flat(total: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Component labels for ``total`` nodes under the given edges.
+
+    Vectorized min-label propagation with pointer doubling: every node's
+    label converges to the smallest node id in its component.  The outer
+    loop runs O(log N) times; every step is whole-array NumPy.
+    """
+    label = np.arange(total, dtype=np.int64)
+    if len(src) == 0:
+        return label
+    while True:
+        old = label.copy()
+        lo = np.minimum(label[src], label[dst])
+        np.minimum.at(label, src, lo)
+        np.minimum.at(label, dst, lo)
+        while True:  # pointer doubling: label -> label[label] until stable
+            nxt = label[label]
+            if np.array_equal(nxt, label):
+                break
+            label = nxt
+        if np.array_equal(label, old):
+            return label
+
+
+def masked_components(
+    net: Network,
+    node_alive: np.ndarray | None = None,
+    edge_alive: np.ndarray | None = None,
+) -> np.ndarray:
+    """Connected-component labels of one or many masked survivor graphs.
+
+    ``node_alive`` / ``edge_alive`` are boolean masks over the nodes and
+    the sorted undirected edge list (:func:`edge_list` order); either may
+    be 1-D (one mask) or 2-D ``(B, ·)`` (a batch of masks, labeled in one
+    flat union-find pass).  An edge survives iff its own mask entry and
+    both endpoint entries are alive.  Returns int labels shaped like
+    ``node_alive`` broadcast to ``(B, n)``; dead nodes are labeled ``-1``,
+    live nodes carry the smallest live node id of their component.
+    """
+    n = net.num_nodes
+    edges = np.asarray(_undirected_edges(net), dtype=np.int64).reshape(-1, 2)
+    src, dst = edges[:, 0], edges[:, 1]
+    if node_alive is None:
+        node_alive = np.ones(n, dtype=bool)
+    node_alive = np.atleast_2d(np.asarray(node_alive, dtype=bool))
+    batch = node_alive.shape[0]
+    if node_alive.shape != (batch, n):
+        raise ValueError(f"node_alive must be (B, {n}), got {node_alive.shape}")
+    if edge_alive is None:
+        edge_alive = np.ones((batch, len(src)), dtype=bool)
+    edge_alive = np.atleast_2d(np.asarray(edge_alive, dtype=bool))
+    if edge_alive.shape != (batch, len(src)):
+        raise ValueError(
+            f"edge_alive must be (B, {len(src)}), got {edge_alive.shape}"
+        )
+    live_edge = edge_alive & node_alive[:, src] & node_alive[:, dst]
+    b_idx, e_idx = np.nonzero(live_edge)
+    flat_src = b_idx * n + src[e_idx]
+    flat_dst = b_idx * n + dst[e_idx]
+    label = _components_flat(batch * n, flat_src, flat_dst).reshape(batch, n)
+    label -= np.arange(batch, dtype=np.int64)[:, None] * n  # back to node ids
+    label[~node_alive] = -1
+    ncomp = 0
+    for row, alive in zip(label, node_alive):
+        live = row[alive]
+        ncomp += len(np.unique(live)) if len(live) else 0
+    obs.registry().incr("percolation.components", ncomp)
+    return label
+
+
+def _component_sums(label_row: np.ndarray, alive_row: np.ndarray) -> dict:
+    """Integer connectivity primitives of one survivor graph."""
+    live = label_row[alive_row]
+    alive = int(len(live))
+    if alive == 0:
+        return {
+            "alive": 0,
+            "components": 0,
+            "giant": 0,
+            "conn_pairs": 0,
+            "total_pairs": 0,
+        }
+    _, counts = np.unique(live, return_counts=True)
+    return {
+        "alive": alive,
+        "components": int(len(counts)),
+        "giant": int(counts.max()),
+        "conn_pairs": int((counts * (counts - 1)).sum()),
+        "total_pairs": alive * (alive - 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+def _survival_masks(
+    net: Network,
+    num_edges: int,
+    probs: np.ndarray,
+    kind: str,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Coupled survival masks for one trial: ``(node_alive, edge_alive, u)``.
+
+    One uniform draw per entity; entity survives at grid point ``i`` iff
+    its draw is ``< probs[i]`` — the monotone coupling described in the
+    module docstring.  ``u`` is the raw draw vector (what
+    :func:`threshold_traffic_runs` turns into a :class:`FaultPlan`).
+    """
+    n = net.num_nodes
+    grid = len(probs)
+    if kind == "node":
+        u = rng.random(n)
+        node_alive = u[None, :] < probs[:, None]
+        edge_alive = np.ones((grid, num_edges), dtype=bool)
+    else:
+        u = rng.random(num_edges)
+        node_alive = np.ones((grid, n), dtype=bool)
+        edge_alive = u[None, :] < probs[:, None]
+    return node_alive, edge_alive, u
+
+
+def _percolation_trial(ctx: dict, trial: int) -> list[dict]:
+    """One seeded trial: per-grid-point integer connectivity primitives.
+
+    Module-level so the process pool can pickle it; all randomness derives
+    from ``(seed, trial)``, never from execution order.
+    """
+    net = ctx["net"]
+    probs = np.asarray(ctx["probs"], dtype=np.float64)
+    num_edges = len(_undirected_edges(net))
+    rng = np.random.default_rng([ctx["seed"], 7_919, trial])
+    node_alive, edge_alive, _ = _survival_masks(
+        net, num_edges, probs, ctx["kind"], rng
+    )
+    labels = masked_components(net, node_alive, edge_alive)
+    return [
+        _component_sums(labels[i], node_alive[i]) for i in range(len(probs))
+    ]
+
+
+def percolation_sweep(
+    net: Network,
+    probs: list[float] | None = None,
+    trials: int = 8,
+    *,
+    kind: str = "node",
+    seed: int = 0,
+    jobs: int = 1,
+) -> list[dict]:
+    """Survivor-graph connectivity vs survival probability, one row per ``p``.
+
+    For each grid point ``p`` of ``probs`` (default
+    :func:`default_probability_grid`) and each of ``trials`` seeded
+    trials, every node (``kind="node"``) or undirected link
+    (``kind="link"``) survives independently with probability ``p``; the
+    row aggregates the trials' survivor graphs:
+
+    * ``alive_frac`` — surviving-node fraction (pooled over trials);
+    * ``components`` — mean component count among survivors;
+    * ``giant_frac`` — largest-component size over *total* nodes (pooled;
+      monotone in ``p`` by the coupling, so threshold interpolation on it
+      is well-posed);
+    * ``routability`` — probability that two distinct random survivors
+      are connected (pooled pair counts).
+
+    ``jobs`` fans trials out over a process pool (``0`` = all cores) with
+    results bit-identical to ``jobs=1``.  Raises ``ValueError`` for an
+    empty/unsorted/out-of-range grid, ``kind`` not ``"node"``/``"link"``,
+    or ``trials < 1``.
+    """
+    if kind not in ("node", "link"):
+        raise ValueError(f"percolation kind must be 'node' or 'link', got {kind!r}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    grid = _validated_probs(probs if probs is not None else default_probability_grid())
+    ctx = {"net": net, "probs": grid.tolist(), "kind": kind, "seed": seed}
+    with obs.span("fault.percolation", network=net.name, grid=len(grid), trials=trials):
+        per_trial = run_tasks(_percolation_trial, ctx, list(range(trials)), jobs=jobs)
+    n = net.num_nodes
+    rows = []
+    for i, p in enumerate(grid.tolist()):
+        sums = {k: 0 for k in ("alive", "components", "giant", "conn_pairs", "total_pairs")}
+        for trial_rows in per_trial:
+            for k in sums:
+                sums[k] += trial_rows[i][k]
+        rows.append(
+            {
+                "network": net.name,
+                "kind": kind,
+                "p": p,
+                "trials": trials,
+                "alive_frac": sums["alive"] / (trials * n) if n else 0.0,
+                "components": sums["components"] / trials,
+                "giant_frac": sums["giant"] / (trials * n) if n else 0.0,
+                "routability": (
+                    sums["conn_pairs"] / sums["total_pairs"]
+                    if sums["total_pairs"]
+                    else 1.0
+                ),
+            }
+        )
+    return rows
+
+
+def estimate_threshold(rows: list[dict], target: float = 0.5) -> float:
+    """Estimated percolation threshold from :func:`percolation_sweep` rows.
+
+    The smallest survival probability at which the pooled giant-component
+    fraction reaches ``target`` (default one half of all nodes), linearly
+    interpolated between the bracketing grid points.  ``NaN`` when the
+    curve never reaches the target on the swept grid.
+    """
+    if not rows:
+        raise ValueError("rows must be non-empty percolation_sweep output")
+    prev_p, prev_g = None, None
+    for row in rows:
+        p, g = float(row["p"]), float(row["giant_frac"])
+        if g >= target:
+            if prev_p is None or g == prev_g:
+                return p
+            return prev_p + (target - prev_g) * (p - prev_p) / (g - prev_g)
+        prev_p, prev_g = p, g
+    return float("nan")
+
+
+# ----------------------------------------------------------------------
+# degraded traffic at the threshold
+# ----------------------------------------------------------------------
+def _traffic_point(ctx: dict, p: float) -> dict:
+    """One degraded-traffic run at survival probability ``p`` (picklable).
+
+    The fault pattern reuses the sweep's trial-0 coupling draws: entities
+    whose uniform is ``>= p`` fail at cycle 0, so the simulated fault sets
+    are nested across probe points exactly like the structural sweep.
+    """
+    net = ctx["net"]
+    kind = ctx["kind"]
+    cycles = ctx["cycles"]
+    edges = _undirected_edges(net)
+    rng = np.random.default_rng([ctx["seed"], 7_919, 0])
+    _, _, u = _survival_masks(
+        net, len(edges), np.asarray([p], dtype=np.float64), kind, rng
+    )
+    plan = FaultPlan()
+    if kind == "node":
+        for v in sorted(np.nonzero(u >= p)[0].tolist()):
+            plan.fail_node(0, v)
+    else:
+        for e in sorted(np.nonzero(u >= p)[0].tolist()):
+            plan.fail_link(0, *edges[e])
+    workload_rng = np.random.default_rng([ctx["seed"], 104_729])
+    injections = uniform_random(net, ctx["rate"], cycles, workload_rng)
+    cls = _engine_class(ctx.get("engine", "event"))
+    sim = cls(net, faults=plan)
+    stats = sim.run(injections, max_cycles=cycles * ctx["max_cycles_factor"])
+    return {
+        "network": net.name,
+        "kind": kind,
+        "p": p,
+        "failed": len(plan),
+        "delivery_ratio": stats.delivery_ratio,
+        "mean_latency": stats.mean_latency if stats.delivered else float("nan"),
+        "dropped": stats.dropped,
+        "rerouted": stats.rerouted,
+    }
+
+
+def threshold_traffic_runs(
+    net: Network,
+    threshold: float,
+    *,
+    kind: str = "node",
+    delta: float = 0.15,
+    rate: float = 0.05,
+    cycles: int = 60,
+    seed: int = 0,
+    max_cycles_factor: int = 50,
+    jobs: int = 1,
+    engine: str = "event",
+) -> list[dict]:
+    """Seeded degraded-traffic runs at and around a percolation threshold.
+
+    Probes survival probabilities ``threshold - delta``, ``threshold``,
+    and ``threshold + delta`` (clipped to ``[0, 1]``, deduplicated):
+    the fault pattern at each probe fails every entity whose trial-0
+    coupling draw falls above the probe, and the batched event simulator
+    (or the reference oracle, via ``engine``) drives uniform traffic
+    through the survivors.  Delivery ratio is non-increasing as ``p``
+    drops for a fixed seed, because the fault sets are nested.
+
+    ``jobs`` fans the probe points out (bit-identical to serial).  Raises
+    ``ValueError`` for a non-finite or out-of-range ``threshold``.
+    """
+    if math.isnan(threshold) or not 0.0 <= threshold <= 1.0:
+        raise ValueError(
+            f"threshold must be a survival probability in [0, 1], got {threshold!r}"
+        )
+    if kind not in ("node", "link"):
+        raise ValueError(f"percolation kind must be 'node' or 'link', got {kind!r}")
+    _engine_class(engine)  # fail fast, before any pool spin-up
+    probes = sorted(
+        {round(min(1.0, max(0.0, threshold + d)), 6) for d in (-delta, 0.0, delta)}
+    )
+    ctx = {
+        "net": net,
+        "kind": kind,
+        "rate": rate,
+        "cycles": cycles,
+        "seed": seed,
+        "max_cycles_factor": max_cycles_factor,
+        "engine": engine,
+    }
+    return run_tasks(_traffic_point, ctx, probes, jobs=jobs)
+
+
+def percolation_comparison(
+    cases: list[Network] | None = None,
+    probs: list[float] | None = None,
+    trials: int = 8,
+    *,
+    kind: str = "node",
+    seed: int = 0,
+    jobs: int = 1,
+    engine: str = "event",
+    traffic: bool = True,
+    rate: float = 0.05,
+    cycles: int = 60,
+) -> list[dict]:
+    """Per-family percolation thresholds over a case list — the table
+    behind ``python -m repro faults percolation``.
+
+    Runs :func:`percolation_sweep` on every case (default: the paper's
+    resilience comparison set, :func:`~repro.fault.sweep.default_resilience_cases`),
+    estimates each family's threshold, and (with ``traffic=True``)
+    measures delivered traffic at and around it.  One row per family.
+    """
+    from .sweep import default_resilience_cases
+
+    if cases is None:
+        cases = default_resilience_cases()
+    rows = []
+    for net in cases:
+        sweep_rows = percolation_sweep(
+            net, probs, trials, kind=kind, seed=seed, jobs=jobs
+        )
+        thr = estimate_threshold(sweep_rows)
+        row = {
+            "network": net.name,
+            "kind": kind,
+            "N": net.num_nodes,
+            "threshold": round(thr, 4) if math.isfinite(thr) else thr,
+            "giant_frac@thr": next(
+                (
+                    r["giant_frac"]
+                    for r in sweep_rows
+                    if math.isfinite(thr) and r["p"] >= thr
+                ),
+                float("nan"),
+            ),
+            "routability@1.0": sweep_rows[-1]["routability"],
+        }
+        if traffic and math.isfinite(thr):
+            probe = threshold_traffic_runs(
+                net,
+                thr,
+                kind=kind,
+                rate=rate,
+                cycles=cycles,
+                seed=seed,
+                jobs=jobs,
+                engine=engine,
+            )
+            by_p = {r["p"]: r for r in probe}
+            below, at, above = min(by_p), sorted(by_p)[len(by_p) // 2], max(by_p)
+            row["delivery@thr-"] = by_p[below]["delivery_ratio"]
+            row["delivery@thr"] = by_p[at]["delivery_ratio"]
+            row["delivery@thr+"] = by_p[above]["delivery_ratio"]
+        rows.append(row)
+    return rows

@@ -17,10 +17,17 @@ on star-graph-class networks exploit path diversity):
 
 The router never mutates the network: fault state comes from a compiled
 :class:`~repro.fault.plan.FaultTimeline`, and survivor-graph path lookups
-are cached per fault epoch.
+are cached per fault epoch.  Both caches are bounded: entries from stale
+fault epochs are evicted when the timeline advances, and within an epoch
+the path cache is LRU-bounded (``path_cache_size``); ``cache_info()``
+reports hit/miss/eviction counters in the :func:`repro.cache.memoize_lru`
+style.  Passing an :class:`~repro.fault.orbits.OrbitDetourCache` lets
+symmetric fault configurations share survivor paths across routers.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 from repro import obs
 from repro.core.network import Network
@@ -55,6 +62,15 @@ class ResilientRouter:
         hops).  Built on demand otherwise.
     use_disjoint:
         Allow the stage-3 survivor-path fallback (on by default).
+    path_cache_size:
+        LRU bound on cached survivor paths (per router).  Entries from
+        fault epochs older than the last one queried are evicted eagerly,
+        so the bound only bites within a single epoch.
+    orbit_cache:
+        Optional :class:`~repro.fault.orbits.OrbitDetourCache` consulted
+        before computing a survivor path: automorphic fault
+        configurations then share detours, across routers when the cache
+        instance is shared.
     """
 
     def __init__(
@@ -63,6 +79,8 @@ class ResilientRouter:
         timeline: FaultTimeline,
         table: NextHopTable | None = None,
         use_disjoint: bool = True,
+        path_cache_size: int = 4096,
+        orbit_cache=None,
     ):
         if table is None:
             table = NextHopTable(net, with_distances=True)
@@ -71,6 +89,10 @@ class ResilientRouter:
                 "ResilientRouter needs a NextHopTable built with "
                 "with_distances=True (alternate minimal hops require distances)"
             )
+        if path_cache_size < 1:
+            raise ValueError(
+                f"path_cache_size must be >= 1, got {path_cache_size}"
+            )
         self.net = net
         self.timeline = timeline
         self.table = table
@@ -78,8 +100,20 @@ class ResilientRouter:
         self.reroutes = 0
         self.deroutes = 0
         self.unreachable = 0
-        self._path_cache: dict[tuple[int, int, int], tuple[int, ...] | None] = {}
+        self.path_cache_size = int(path_cache_size)
+        self.orbit_cache = orbit_cache
+        self._path_cache: OrderedDict[
+            tuple[int, int, int], tuple[int, ...] | None
+        ] = OrderedDict()
         self._view_cache: dict[int, FaultyNetwork] = {}
+        self._cache_epoch: int | None = None
+        self._cache_stats = {
+            "path_hits": 0,
+            "path_misses": 0,
+            "path_evictions": 0,
+            "view_hits": 0,
+            "view_misses": 0,
+        }
 
     # ------------------------------------------------------------------
     def hop_alive(self, u: int, v: int, t: int) -> bool:
@@ -118,35 +152,104 @@ class ResilientRouter:
         return -1, UNREACHABLE, ()
 
     # ------------------------------------------------------------------
+    def _advance_epoch(self, epoch: int) -> None:
+        """Evict cache entries left over from other fault epochs.
+
+        Fault epochs are visited monotonically in simulation, so entries
+        keyed by a different epoch are dead weight once the timeline
+        moves on — dropping them keeps both caches bounded by one
+        epoch's working set regardless of how many fault events the
+        timeline holds.
+        """
+        if epoch == self._cache_epoch:
+            return
+        stale = [k for k in self._path_cache if k[0] != epoch]
+        for k in stale:
+            del self._path_cache[k]
+        self._cache_stats["path_evictions"] += len(stale)
+        for e in [e for e in self._view_cache if e != epoch]:
+            del self._view_cache[e]
+        self._cache_epoch = epoch
+
     def _view(self, epoch: int, t: int) -> FaultyNetwork:
         view = self._view_cache.get(epoch)
         if view is None:
+            self._cache_stats["view_misses"] += 1
             view = self._view_cache[epoch] = FaultyNetwork.at(
                 self.net, self.timeline, t
             )
+        else:
+            self._cache_stats["view_hits"] += 1
         return view
+
+    def _compute_survivor_path(
+        self, epoch: int, u: int, dst: int, t: int
+    ) -> tuple[int, ...] | None:
+        import networkx as nx
+
+        view = self._view(epoch, t)
+        if not (view.is_node_up(u) and view.is_node_up(dst)):
+            return None
+        try:
+            paths = node_disjoint_paths(view.to_network(), u, dst)
+            return tuple(min(paths, key=len))
+        except (nx.NetworkXNoPath, nx.NetworkXError, ValueError):
+            return None
 
     def _survivor_path(self, u: int, dst: int, t: int) -> tuple[int, ...] | None:
         """Shortest live ``u -> dst`` path among the node-disjoint set on the
         survivor graph at ``t`` (cached per fault epoch), or ``None``."""
         epoch = self.timeline.epoch(t)
+        self._advance_epoch(epoch)
         key = (epoch, u, dst)
         if key in self._path_cache:
+            self._cache_stats["path_hits"] += 1
+            self._path_cache.move_to_end(key)
             return self._path_cache[key]
-        import networkx as nx
-
-        view = self._view(epoch, t)
+        self._cache_stats["path_misses"] += 1
         path: tuple[int, ...] | None = None
-        if view.is_node_up(u) and view.is_node_up(dst):
-            try:
-                paths = node_disjoint_paths(view.to_network(), u, dst)
-                path = tuple(min(paths, key=len))
-            except (nx.NetworkXNoPath, nx.NetworkXError, ValueError):
-                path = None
+        computed = False
+        if self.orbit_cache is not None:
+            from .orbits import _MISS
+
+            dead_nodes = self.timeline.dead_nodes_at(t)
+            dead_links = self.timeline.dead_links_at(t)
+            okey, g = self.orbit_cache.canonize(dead_nodes, dead_links, u, dst)
+            hit = self.orbit_cache.get(okey, g)
+            if hit is not _MISS:
+                path, computed = hit, True
+            else:
+                path = self._compute_survivor_path(epoch, u, dst, t)
+                computed = True
+                self.orbit_cache.put(okey, g, path)
+        if not computed:
+            path = self._compute_survivor_path(epoch, u, dst, t)
         self._path_cache[key] = path
+        if len(self._path_cache) > self.path_cache_size:
+            self._path_cache.popitem(last=False)
+            self._cache_stats["path_evictions"] += 1
         reg = obs.registry()
         reg.incr("routing.resilient.survivor_paths")
         return path
+
+    def cache_info(self) -> dict:
+        """Counters for the per-epoch path/view caches (and the shared
+        orbit cache when attached), in the ``memoize_lru`` style."""
+        info = {
+            **self._cache_stats,
+            "path_maxsize": self.path_cache_size,
+            "path_currsize": len(self._path_cache),
+            "view_currsize": len(self._view_cache),
+        }
+        if self.orbit_cache is not None:
+            info["orbit"] = self.orbit_cache.cache_info()
+        return info
+
+    def cache_clear(self) -> None:
+        """Drop every cached path and survivor view (counters kept)."""
+        self._path_cache.clear()
+        self._view_cache.clear()
+        self._cache_epoch = None
 
     def __repr__(self) -> str:
         return (

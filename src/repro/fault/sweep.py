@@ -34,6 +34,8 @@ __all__ = ["fault_sweep", "fault_comparison", "default_resilience_cases"]
 def _sample_plan(
     net: Network, kind: str, count: int, cycles: int, rng: np.random.Generator
 ) -> FaultPlan:
+    if count < 0:
+        raise ValueError(f"fault count must be >= 0, got {count}")
     if kind == "link":
         return FaultPlan.random_link_faults(net, count, rng, horizon=cycles)
     if kind == "node":
@@ -111,8 +113,18 @@ def fault_sweep(
     """
     if kind not in ("link", "node"):
         raise ValueError(f"fault kind must be 'link' or 'node', got {kind!r}")
-    _engine_class(engine)  # fail fast, before any pool spin-up
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"injection rate must be in [0, 1], got {rate}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if cycles < 1:
+        raise ValueError(f"cycles must be >= 1, got {cycles}")
+    if len(fault_counts) == 0:
+        raise ValueError("fault_counts must be non-empty")
     counts = sorted(set(int(f) for f in fault_counts))
+    if counts[0] < 0:
+        raise ValueError(f"fault counts must be >= 0, got {counts[0]}")
+    _engine_class(engine)  # fail fast, before any pool spin-up
     ctx = {
         "net": net,
         "kind": kind,

@@ -55,11 +55,20 @@ from .spectral import (
     laplacian_spectrum,
     spectral_gap,
 )
-from .symmetry import is_vertex_transitive, looks_vertex_transitive
+from .symmetry import (
+    automorphism_group,
+    automorphism_orbits,
+    edge_orbits,
+    is_vertex_transitive,
+    looks_vertex_transitive,
+)
 
 __all__ = [
     "algebraic_connectivity",
     "approx_average_distance",
+    "automorphism_group",
+    "automorphism_orbits",
+    "edge_orbits",
     "average_distance",
     "average_intercluster_distance",
     "bfs_distances",

@@ -1,9 +1,19 @@
-"""Symmetry tests: regularity and vertex-transitivity.
+"""Symmetry tests and automorphism orbits.
 
 Section 3.5 of the paper derives *symmetric* super-IP graphs that are
 vertex-symmetric and regular (being Cayley graphs), in contrast to plain
 super-IP graphs, which generally are neither.  These checks verify both
 claims on constructed instances.
+
+Beyond the boolean transitivity tests, this module exposes the orbit
+machinery itself: :func:`automorphism_group` enumerates the full
+automorphism group of a small graph (VF2, deterministic order) and
+:func:`automorphism_orbits` / :func:`edge_orbits` partition nodes and
+undirected edges into equivalence classes under it.  Orbits are what make
+exhaustive fault certification tractable (Ganesan, arXiv:1703.08109):
+two fault patterns in the same orbit degrade the network identically, so
+only one representative per orbit needs to be simulated
+(:mod:`repro.fault.orbits`).
 
 Exact vertex-transitivity is decided by rooted-graph isomorphism tests
 (via networkx VF2) and is only feasible for small graphs;
@@ -15,11 +25,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cache.memory import memoize_lru
 from repro.core.network import Network
 
 from .distances import bfs_distances
 
-__all__ = ["looks_vertex_transitive", "is_vertex_transitive"]
+__all__ = [
+    "automorphism_group",
+    "automorphism_orbits",
+    "edge_orbits",
+    "looks_vertex_transitive",
+    "is_vertex_transitive",
+]
 
 
 def _distance_profiles(net: Network) -> list[tuple]:
@@ -49,6 +66,118 @@ def looks_vertex_transitive(net: Network) -> bool:
     return all(p == profiles[0] for p in profiles)
 
 
+def automorphism_group(
+    net: Network,
+    node_limit: int = 512,
+    max_size: int = 100_000,
+) -> np.ndarray:
+    """Every automorphism of the simple graph, as a ``(G, n)`` int array.
+
+    Row ``i`` is one permutation ``g`` with ``g[v]`` the image of node
+    ``v``.  Rows are sorted lexicographically, so the result is a pure
+    function of the topology (independent of VF2's enumeration order);
+    row 0 is always the identity.
+
+    Enumeration is exhaustive (networkx VF2 over ``G ≅ G``), so this is
+    only feasible for small graphs and modest groups: raises
+    ``ValueError`` beyond ``node_limit`` nodes or ``max_size``
+    automorphisms (a complete graph on 9 nodes already has 362880).
+    """
+    n = net.num_nodes
+    if n > node_limit:
+        raise ValueError(
+            f"graph too large for automorphism enumeration ({n} nodes > "
+            f"node_limit={node_limit})"
+        )
+    if n == 0:
+        return np.empty((1, 0), dtype=np.int64)
+    import networkx as nx
+
+    g = net.to_networkx()
+    if g.is_directed():
+        g = g.to_undirected()
+    matcher = nx.algorithms.isomorphism.GraphMatcher(g, g)
+    perms = []
+    for mapping in matcher.isomorphisms_iter():
+        perm = np.empty(n, dtype=np.int64)
+        for src, img in mapping.items():
+            perm[src] = img
+        perms.append(perm)
+        if len(perms) > max_size:
+            raise ValueError(
+                f"automorphism group of {net.name!r} exceeds max_size="
+                f"{max_size}; pass a larger cap or use a smaller instance"
+            )
+    group = np.array(perms, dtype=np.int64)
+    order = np.lexsort(group.T[::-1])
+    return group[order]
+
+
+@memoize_lru(maxsize=8)
+def _orbits_cached(net: Network) -> np.ndarray:
+    group = automorphism_group(net)
+    return group.min(axis=0)
+
+
+def automorphism_orbits(net: Network, group: np.ndarray | None = None) -> np.ndarray:
+    """Node-orbit labels under the full automorphism group.
+
+    Returns an ``(n,)`` int array where ``orbit[v]`` is the smallest node
+    id in ``v``'s orbit — nodes share a label iff some automorphism maps
+    one to the other.  A vertex-transitive graph has a single orbit (all
+    labels 0).
+
+    With ``group=None`` the group is enumerated via
+    :func:`automorphism_group` and the result is memoized per network
+    instance (:func:`repro.cache.memoize_lru`, so
+    ``repro.cache.clear_memory_caches()`` flushes it); passing a
+    precomputed ``group`` bypasses both.  Same size limits as
+    :func:`automorphism_group`.
+    """
+    if group is not None:
+        if group.ndim != 2 or group.shape[1] != net.num_nodes:
+            raise ValueError(
+                f"group must be (G, {net.num_nodes}), got {group.shape}"
+            )
+        return group.min(axis=0)
+    return _orbits_cached(net)
+
+
+def edge_orbits(
+    net: Network, group: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Orbits of *undirected edges* under the automorphism group.
+
+    Returns ``(edges, labels)``: ``edges`` is the ``(m, 2)`` sorted
+    undirected edge list (``u < v`` per row, rows lexicographic) and
+    ``labels[i]`` is the orbit id of edge ``i`` — the index into
+    ``edges`` of the lexicographically smallest edge in its orbit.
+    Edge-transitive graphs have a single orbit (all labels 0).
+    """
+    if group is None:
+        group = automorphism_group(net)
+    csr = net.adjacency_csr(directed=False)
+    coo = csr.tocoo()
+    mask = coo.row < coo.col
+    edges = np.stack(
+        [coo.row[mask].astype(np.int64), coo.col[mask].astype(np.int64)], axis=1
+    )
+    order = np.lexsort((edges[:, 1], edges[:, 0]))
+    edges = edges[order]
+    n = net.num_nodes
+    if len(edges) == 0:
+        return edges, np.empty(0, dtype=np.int64)
+    # image of every edge under every g, as packed codes lo*n + hi
+    img_u = group[:, edges[:, 0]]  # (G, m)
+    img_v = group[:, edges[:, 1]]
+    codes = np.minimum(img_u, img_v) * n + np.maximum(img_u, img_v)
+    min_codes = codes.min(axis=0)  # canonical (smallest) edge per orbit
+    own_codes = edges[:, 0] * n + edges[:, 1]
+    # orbit id = index of the canonical edge in the sorted edge list
+    labels = np.searchsorted(own_codes, min_codes)
+    return edges, labels
+
+
 def _rooted_graph(g, root: int, n: int):
     """Copy of ``g`` with the root marked by an attached high-degree gadget.
 
@@ -70,10 +199,11 @@ def is_vertex_transitive(net: Network, node_limit: int = 2000) -> bool:
     """Exact vertex-transitivity: for every node ``v`` some automorphism
     maps node 0 to ``v``.
 
-    Decided as: ``(G, 0)`` is isomorphic to ``(G, v)`` as rooted graphs for
-    all ``v``.  Nodes sharing an orbit with an already-decided node are
-    skipped using the transitivity of the orbit relation.  Raises
-    ``ValueError`` beyond ``node_limit`` nodes.
+    Equivalent to :func:`automorphism_orbits` having a single orbit, and
+    decided that way when the full group is small enough to enumerate.
+    For larger groups it falls back to rooted-graph isomorphism tests:
+    ``(G, 0)`` is isomorphic to ``(G, v)`` as rooted graphs for all ``v``.
+    Raises ``ValueError`` beyond ``node_limit`` nodes.
     """
     n = net.num_nodes
     if n > node_limit:
@@ -82,6 +212,10 @@ def is_vertex_transitive(net: Network, node_limit: int = 2000) -> bool:
         return True
     if not looks_vertex_transitive(net):
         return False
+    try:
+        return bool((automorphism_orbits(net) == 0).all())
+    except ValueError:
+        pass  # group too large to enumerate — rooted-isomorphism fallback
 
     import networkx as nx
 

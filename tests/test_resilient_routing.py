@@ -157,3 +157,82 @@ class TestResilientRouter:
         p1 = r._survivor_path(0, 1, 0)
         p2 = r._survivor_path(0, 1, 0)
         assert p1 is p2  # cached
+
+
+class TestBoundedCaches:
+    def _router(self, g, plan, **kw):
+        return ResilientRouter(g, plan.compile(g), **kw)
+
+    def test_cache_info_counts_hits_and_misses(self):
+        g = nw.hypercube(3)
+        r = self._router(g, FaultPlan().fail_link(0, 0, 1))
+        r._survivor_path(0, 1, 0)
+        r._survivor_path(0, 1, 0)
+        info = r.cache_info()
+        assert info["path_misses"] == 1
+        assert info["path_hits"] == 1
+        assert info["path_currsize"] == 1
+        assert info["path_maxsize"] == 4096
+
+    def test_lru_bound_enforced(self):
+        g = nw.hypercube(3)
+        r = self._router(
+            g, FaultPlan().fail_link(0, 0, 1), path_cache_size=2
+        )
+        for dst in (1, 3, 5, 7):
+            r._survivor_path(0, dst, 0)
+        info = r.cache_info()
+        assert info["path_currsize"] <= 2
+        assert info["path_evictions"] >= 2
+
+    def test_epoch_change_evicts_stale_entries(self):
+        g = nw.hypercube(3)
+        plan = FaultPlan().fail_link(0, 0, 1).fail_node(10, 7)
+        r = self._router(g, plan)
+        r._survivor_path(0, 1, 0)
+        r._survivor_path(0, 1, 20)  # later epoch: earlier entry evicted
+        info = r.cache_info()
+        assert info["path_evictions"] >= 1
+        assert info["view_currsize"] == 1
+
+    def test_cache_clear_resets_entries(self):
+        g = nw.hypercube(3)
+        r = self._router(g, FaultPlan().fail_link(0, 0, 1))
+        r._survivor_path(0, 1, 0)
+        r.cache_clear()
+        info = r.cache_info()
+        assert info["path_currsize"] == 0
+        assert info["view_currsize"] == 0
+
+    def test_bad_cache_size_rejected(self):
+        g = nw.ring(6)
+        with pytest.raises(ValueError, match="path_cache_size"):
+            self._router(g, FaultPlan(), path_cache_size=0)
+
+    def test_orbit_cache_shared_across_symmetric_configs(self):
+        from repro.fault import OrbitDetourCache
+
+        g = nw.hypercube(3)
+        oc = OrbitDetourCache(g)
+        r1 = self._router(g, FaultPlan().fail_link(0, 0, 1), orbit_cache=oc)
+        r1._survivor_path(0, 1, 0)
+        # (0, 2) is automorphic to (0, 1): second router hits the shared cache
+        r2 = self._router(g, FaultPlan().fail_link(0, 0, 2), orbit_cache=oc)
+        path = r2._survivor_path(0, 2, 0)
+        assert oc.cache_info()["hits"] >= 1
+        assert path[0] == 0 and path[-1] == 2
+        for x, y in zip(path, path[1:]):
+            assert y in g.neighbors(x)
+            assert {x, y} != {0, 2}  # never uses the dead link
+
+    def test_orbit_cache_result_matches_direct_computation(self):
+        from repro.fault import OrbitDetourCache
+
+        g = nw.hypercube(3)
+        plan = FaultPlan().fail_link(0, 0, 1)
+        direct = self._router(g, plan)._survivor_path(0, 1, 0)
+        cached = self._router(
+            g, plan, orbit_cache=OrbitDetourCache(g)
+        )._survivor_path(0, 1, 0)
+        assert len(cached) == len(direct)
+        assert cached[0] == direct[0] and cached[-1] == direct[-1]
