@@ -20,6 +20,10 @@ echo "== static analysis: determinism & cache-soundness dataflow =="
 python -m repro.check dataflow src
 
 echo
+echo "== static analysis: kernel-perf hot-path lint =="
+python -m repro.check perf src
+
+echo
 echo "== static analysis: ruff =="
 if command -v ruff > /dev/null 2>&1; then
     ruff check src
@@ -124,6 +128,10 @@ echo "OK"
 echo
 echo "== runtime determinism sanitizer (serial/parallel + cold/warm hashes) =="
 python -m repro.check sanitize --smoke
+
+echo
+echo "== runtime perf sanitizer (perimeter escapes + per-unit budgets) =="
+python -m repro.check perf --measure --smoke
 
 echo
 echo "CI OK"

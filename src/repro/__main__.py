@@ -15,6 +15,8 @@ Usage::
     python -m repro cache clear --cache-dir ~/.cache/repro
     python -m repro check lint src
     python -m repro check contracts --jobs 0
+    python -m repro check perf src
+    python -m repro check perf --measure --smoke
 
 ``info``, ``figure``, ``summary`` and ``faults`` accept ``--profile``
 (print a timing/counter table after the command) and ``--trace FILE``
@@ -417,7 +419,9 @@ def main(argv: list[str] | None = None) -> int:
 
     # listed for --help only; real dispatch happens before parsing above
     sub.add_parser(
-        "check", help="static analysis: custom lint + paper-invariant contracts"
+        "check",
+        help="static analysis + sanitizers: lint, contracts, dataflow, "
+        "sanitize, perf (see `repro check --help`)",
     )
 
     args = parser.parse_args(argv)

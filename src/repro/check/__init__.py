@@ -1,5 +1,5 @@
 """Static analysis for the repro codebase: lint, contracts, dataflow,
-and a runtime sanitizer — four layers over one findings/report model:
+perf, and runtime sanitizers — five tiers over one findings/report model:
 
 * :mod:`repro.check.lint` — repo-specific AST linter (rules RPR001–
   RPR005, ``# repro: noqa[CODE]`` suppression);
@@ -11,7 +11,12 @@ and a runtime sanitizer — four layers over one findings/report model:
   :mod:`repro.check.cachekeys`;
 * :mod:`repro.check.sanitize` — runtime sanitizer (SAN001–SAN003)
   proving serial/parallel and cold/warm-cache hash-stream identity on a
-  real sweep.
+  real sweep;
+* :mod:`repro.check.perf` — kernel-perf analyzer (RPR020–RPR024) over
+  the declared hot-path perimeter: vectorization lint, array dtype
+  contracts, loop-invariant hoisting; with its runtime cross-check
+  :mod:`repro.check.perfsanitize` (SAN004–SAN005) profiling seeded
+  micro-workloads against recorded per-unit budgets.
 
 Run from the command line::
 
@@ -19,6 +24,8 @@ Run from the command line::
     python -m repro.check contracts
     python -m repro.check dataflow src
     python -m repro.check sanitize --smoke
+    python -m repro.check perf src
+    python -m repro.check perf --measure --smoke
 
 or as ``python -m repro check ...``.  See DESIGN.md for the rule catalog.
 """
@@ -28,6 +35,8 @@ from .determinism import DATAFLOW_RULES, dataflow_paths, find_perimeters
 from .findings import Finding, Report
 from .invariants import FAMILY_SPECS, FamilySpec, check_family, check_network, run_contracts
 from .lint import RULES, lint_paths, lint_source
+from .perf import HOT_PERIMETER, PERF_RULES, HotKernel, hot_path_perimeter, perf_paths
+from .perfsanitize import PERF_SANITIZE_RULES, perf_sanitize
 from .ruleset import RULESET_VERSION
 from .sanitize import SANITIZE_RULES, sanitize_sweep, sanitize_tasks
 
@@ -52,4 +61,11 @@ __all__ = [
     "SANITIZE_RULES",
     "sanitize_sweep",
     "sanitize_tasks",
+    "PERF_RULES",
+    "HotKernel",
+    "HOT_PERIMETER",
+    "hot_path_perimeter",
+    "perf_paths",
+    "PERF_SANITIZE_RULES",
+    "perf_sanitize",
 ]

@@ -6,6 +6,8 @@ Usage::
     python -m repro.check contracts [--family NAME ...]
     python -m repro.check dataflow [PATH ...]    # default: src
     python -m repro.check sanitize [--smoke]
+    python -m repro.check perf [PATH ...]        # static hot-path lint
+    python -m repro.check perf --measure [--smoke] [--update-budgets]
 
 Exit status is 0 when clean, 1 when any finding is reported — suitable
 for CI gates (see ``scripts/ci.sh``).  Every subcommand accepts
@@ -22,17 +24,27 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``repro.check`` argument parser (reused by ``repro check``)."""
     parser = argparse.ArgumentParser(
         prog="repro.check",
-        description="custom lint + paper-invariant contract checks",
+        description=(
+            "static analysis + runtime sanitizers, one tier per subcommand: "
+            "lint (source hygiene), contracts (paper invariants), dataflow "
+            "(determinism/cache keys), sanitize (runtime determinism), perf "
+            "(hot-path vectorization + profile-guided budgets).  Exit status "
+            "is 0 when clean, 1 when any finding is reported."
+        ),
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
 
-    p_lint = sub.add_parser("lint", help="run the RPR custom linter")
+    p_lint = sub.add_parser(
+        "lint", help="static source-hygiene linter (RPR001+ custom rules)"
+    )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"], help="files/directories to lint (default: src)"
     )
     p_lint.add_argument("--profile", action="store_true", help="print obs counters after")
 
-    p_con = sub.add_parser("contracts", help="run the paper-invariant contract sweep")
+    p_con = sub.add_parser(
+        "contracts", help="paper-invariant contract sweep over the network registry"
+    )
     p_con.add_argument(
         "--family",
         action="append",
@@ -56,7 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_con.add_argument("--profile", action="store_true", help="print obs counters after")
 
     p_df = sub.add_parser(
-        "dataflow", help="run the whole-program determinism/cache-key analyzer"
+        "dataflow", help="whole-program determinism/cache-key dataflow analyzer"
     )
     p_df.add_argument(
         "paths",
@@ -67,7 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_df.add_argument("--profile", action="store_true", help="print obs counters after")
 
     p_san = sub.add_parser(
-        "sanitize", help="run the runtime determinism sanitizer on a sweep"
+        "sanitize", help="runtime determinism sanitizer (serial/parallel/cache diffing)"
     )
     p_san.add_argument(
         "--family", default="hsn", metavar="NAME", help="registry family (default: hsn)"
@@ -113,6 +125,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="fastest meaningful configuration (tiny HSN sweep); overrides sizes",
     )
     p_san.add_argument("--profile", action="store_true", help="print obs counters after")
+
+    p_perf = sub.add_parser(
+        "perf",
+        help=(
+            "kernel-perf analyzer: hot-path vectorization/contract lint "
+            "(static), or --measure for the profile-guided perf sanitizer"
+        ),
+    )
+    p_perf.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to analyze (default: src)",
+    )
+    p_perf.add_argument(
+        "--measure",
+        action="store_true",
+        help="run the seeded micro-workloads instead of the static pass "
+        "(SAN004 perimeter escapes + SAN005 budget regressions)",
+    )
+    p_perf.add_argument(
+        "--smoke",
+        action="store_true",
+        help="with --measure: smallest workload sizes and the 'smoke' budget profile",
+    )
+    p_perf.add_argument(
+        "--update-budgets",
+        action="store_true",
+        help="with --measure: rewrite the budget profile from this run "
+        "(measured cost x margin) instead of comparing",
+    )
+    p_perf.add_argument(
+        "--budgets",
+        default=None,
+        metavar="PATH",
+        help="budget file (default: benchmarks/perf_budgets.json)",
+    )
+    p_perf.add_argument("--profile", action="store_true", help="print obs counters after")
     return parser
 
 
@@ -132,6 +182,20 @@ def run(args: argparse.Namespace) -> int:
             from .determinism import dataflow_paths
 
             report = dataflow_paths(args.paths)
+        elif args.cmd == "perf":
+            if args.measure or args.update_budgets:
+                from .perfsanitize import DEFAULT_BUDGETS_PATH, perf_sanitize
+
+                report = perf_sanitize(
+                    paths=args.paths,
+                    smoke=args.smoke,
+                    budgets_path=args.budgets or DEFAULT_BUDGETS_PATH,
+                    update=args.update_budgets,
+                )
+            else:
+                from .perf import perf_paths
+
+                report = perf_paths(args.paths)
         elif args.cmd == "sanitize":
             from .sanitize import sanitize_sweep
 

@@ -98,6 +98,10 @@ class CallGraph:
         self.functions: dict[str, FunctionNode] = {}
         #: qualname -> set of callee/referenced qualnames (known functions only)
         self.edges: dict[str, set[str]] = {}
+        #: the subset of :attr:`edges` added by the untyped-receiver
+        #: method-name fallback (over-approximate); precision-first
+        #: consumers (the perf perimeter) subtract these
+        self.fallback_edges: dict[str, set[str]] = {}
         #: bare method name -> every scanned method qualname with that name
         self.method_index: dict[str, list[str]] = {}
         #: dotted alias (via ``__init__`` re-export) -> defining dotted name
@@ -355,8 +359,10 @@ def _extract_edges(cg: CallGraph, scope: ModuleScope, fn: FunctionNode) -> None:
                 continue
             # untyped receiver: fall back to every scanned method of that name
             if isinstance(node.func, ast.Attribute) and resolver.resolve_expr(node.func) is None:
+                fallback = cg.fallback_edges.setdefault(fn.qualname, set())
                 for qual in cg.method_index.get(node.func.attr, ()):
                     out.add(qual)
+                    fallback.add(qual)
         elif isinstance(node, (ast.Name, ast.Attribute)) and isinstance(
             getattr(node, "ctx", None), ast.Load
         ):

@@ -37,7 +37,7 @@ from .permutation import Permutation
 __all__ = ["build_ip_graph_fast"]
 
 
-def _encode_seed(seed: Sequence) -> tuple[np.ndarray, list]:
+def _encode_seed(seed: Sequence) -> tuple[np.ndarray, list]:  # repro: noqa[RPR021,RPR022] — runs once per build on the k-symbol seed label, not per node
     """Map arbitrary hashable symbols to small ints (order of appearance)."""
     symbols: dict = {}
     row = []
@@ -141,9 +141,10 @@ def build_ip_graph_fast(
                 dst[miss_idx] = new_ids[inv]
                 new_rows = stacked[miss_idx[first[order]]]
                 rows_blocks.append(new_rows)
-                # merge the new keys into the sorted known set
-                merged_keys = np.concatenate([known_keys, uniq])
-                merged_ids = np.concatenate([known_ids, new_ids])
+                # merge the new keys into the sorted known set — once per
+                # BFS level (O(diameter) iterations), not per element
+                merged_keys = np.concatenate([known_keys, uniq])  # repro: noqa[RPR021]
+                merged_ids = np.concatenate([known_ids, new_ids])  # repro: noqa[RPR021]
                 sort = np.argsort(merged_keys, kind="stable")
                 known_keys = merged_keys[sort]
                 known_ids = merged_ids[sort]

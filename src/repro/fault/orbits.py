@@ -233,7 +233,7 @@ def fault_signature(
             return ()
         imgs = np.sort(group[:, ids], axis=1)  # (G, k)
         best = imgs[np.lexsort(imgs.T[::-1])[0]]
-        return tuple(int(v) for v in best)
+        return tuple(int(v) for v in best)  # repro: noqa[RPR020] — k-element decode, k = fault budget (tiny)
     pairs = [(min(int(u), int(v)), max(int(u), int(v))) for u, v in pattern]
     if len(pairs) == 0:
         return ()
@@ -242,7 +242,7 @@ def fault_signature(
     img_v = group[:, arr[:, 1]]
     codes = np.sort(np.minimum(img_u, img_v) * n + np.maximum(img_u, img_v), axis=1)
     best = codes[np.lexsort(codes.T[::-1])[0]]
-    return tuple((int(c) // n, int(c) % n) for c in best)
+    return tuple((int(c) // n, int(c) % n) for c in best)  # repro: noqa[RPR020] — k-element decode, k = fault budget (tiny)
 
 
 # ----------------------------------------------------------------------

@@ -147,11 +147,12 @@ def masked_components(
     label = _components_flat(batch * n, flat_src, flat_dst).reshape(batch, n)
     label -= np.arange(batch, dtype=np.int64)[:, None] * n  # back to node ids
     label[~node_alive] = -1
-    ncomp = 0
-    for row, alive in zip(label, node_alive):
-        live = row[alive]
-        ncomp += len(np.unique(live)) if len(live) else 0
-    obs.registry().incr("percolation.components", ncomp)
+    # per-batch component tally in one pass: re-offsetting rows into
+    # disjoint id ranges makes one np.unique over all live labels count
+    # every row's components at once (dead nodes are masked out first)
+    flat = label + np.arange(batch, dtype=np.int64)[:, None] * n
+    live = flat[node_alive]
+    obs.registry().incr("percolation.components", int(np.unique(live).size))
     return label
 
 

