@@ -1,0 +1,171 @@
+"""Route-serving layer benchmark: throughput, latency, and bit-identity.
+
+Three promises are held here:
+
+* **throughput** — replaying ``QUERIES`` seeded queries through
+  :class:`repro.serve.RouteService` on a cached HSN table must sustain at
+  least ``MIN_QPS`` resolved queries/sec (hops + distances per query),
+  i.e. the serving path stays one vectorized gather per hop step, with
+  per-batch p50/p99 latency reported;
+* **bit-identity** — a seeded ``VERIFY_SAMPLE`` of the answers (paths,
+  distances, first hops) must match the scalar
+  :meth:`~repro.routing.table.NextHopTable.path` walk exactly, and the
+  sharded service must agree with the unsharded one query-for-query;
+* **shared tables** — the service and every one of ``JOBS`` worker
+  processes must be backed by ``np.memmap`` views of the same spills
+  (no per-worker O(N²) copy), and the fan-out must return bit-identical
+  results to the serial replay.
+
+Methodology mirrors ``bench_percolation.py``: GC parked during timing,
+best-of-``ROUNDS`` for the timed section.  Results are printed as JSON;
+set ``REPRO_BENCH_TRAJECTORY=<path>`` to append the record to a JSONL
+trajectory file for tracking across commits.
+
+Run directly (exits non-zero on regression)::
+
+    PYTHONPATH=src python benchmarks/bench_route_service.py
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import cache, networks
+from repro.cache import cached_next_hop_table
+from repro.serve import (
+    RouteService,
+    parallel_resolve,
+    run_load_test,
+    seeded_queries,
+    worker_backends,
+)
+
+MIN_QPS = 100_000.0  # resolved queries/sec on the cached HSN table
+QUERIES = 1_000_000
+BATCH = 100_000
+VERIFY_SAMPLE = 50_000
+SHARDS = 4
+JOBS = 4
+ROUNDS = 3
+SEED = 0
+
+# serving workload: HSN(3, Q3) — 512 nodes, 1 MiB int32 next-hop table
+HSN_L, HSN_N = 3, 3
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as d:
+        cache.configure(d, min_nodes=1)
+        try:
+            return _run()
+        finally:
+            cache.set_cache(None)
+
+
+def _run() -> int:
+    net = networks.build("hsn", l=HSN_L, n=HSN_N)
+    table = cached_next_hop_table(net, with_distances=True)
+    svc = RouteService.open(net)
+    ok = True
+
+    if not svc.mmap_backed:
+        print("FAIL: cached service is not mmap-backed", file=sys.stderr)
+        ok = False
+
+    # throughput: best-of-ROUNDS full replay (verification runs once, last)
+    report = {}
+    gc.collect()
+    gc.disable()
+    try:
+        for r in range(ROUNDS):
+            rep = run_load_test(
+                svc,
+                table if r == ROUNDS - 1 else None,
+                queries=QUERIES,
+                batch=BATCH,
+                seed=SEED,
+                verify_sample=VERIFY_SAMPLE,
+            )
+            if not report or rep["qps"] > report["qps"]:
+                rep["verified"] = max(rep["verified"], report.get("verified", 0))
+                rep["mismatches"] += report.get("mismatches", 0)
+                report = rep
+            else:
+                report["verified"] = max(rep["verified"], report["verified"])
+                report["mismatches"] += rep["mismatches"]
+    finally:
+        gc.enable()
+    if report["mismatches"]:
+        print(
+            f"FAIL: {report['mismatches']} answers diverged from the scalar "
+            f"NextHopTable.path walk",
+            file=sys.stderr,
+        )
+        ok = False
+
+    # sharded service agrees with the unsharded one, query for query
+    sharded = RouteService.open(net, shards=SHARDS)
+    src, dst = seeded_queries(net.num_nodes, 100_000, seed=SEED + 1)
+    a = svc.resolve(src, dst)
+    b = sharded.resolve(src, dst)
+    if not (
+        np.array_equal(a.next_hop, b.next_hop)
+        and np.array_equal(a.distance, b.distance)
+    ):
+        print("FAIL: sharded resolve diverged from unsharded", file=sys.stderr)
+        ok = False
+
+    # multi-worker fan-out: bit-identical to serial, every worker on mmap
+    serial = parallel_resolve(sharded, src, dst, jobs=1, batch=25_000)
+    fanned = parallel_resolve(sharded, src, dst, jobs=JOBS, batch=25_000)
+    if not (
+        np.array_equal(serial.next_hop, fanned.next_hop)
+        and np.array_equal(serial.distance, fanned.distance)
+    ):
+        print("FAIL: parallel resolve diverged from serial", file=sys.stderr)
+        ok = False
+    backends = worker_backends(sharded, JOBS)
+    if not all(p["mmap"] for p in backends):
+        print(
+            f"FAIL: worker(s) not mmap-backed: {backends}", file=sys.stderr
+        )
+        ok = False
+
+    record = {
+        "bench": "route_service",
+        "network": net.name,
+        "num_nodes": net.num_nodes,
+        "queries": report["queries"],
+        "batch": report["batch"],
+        "qps": report["qps"],
+        "p50_ms": report["p50_ms"],
+        "p99_ms": report["p99_ms"],
+        "verified": report["verified"],
+        "mismatches": report["mismatches"],
+        "shards": SHARDS,
+        "jobs": JOBS,
+        "mmap": bool(svc.mmap_backed) and all(p["mmap"] for p in backends),
+    }
+    print(json.dumps(record))
+    traj = os.environ.get("REPRO_BENCH_TRAJECTORY")
+    if traj:
+        with open(traj, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+    if report["qps"] < MIN_QPS:
+        print(
+            f"FAIL: {report['qps']:.0f} queries/sec < {MIN_QPS:.0f} budget",
+            file=sys.stderr,
+        )
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

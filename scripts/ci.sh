@@ -91,6 +91,29 @@ python -m repro faults percolation --smoke > /dev/null
 echo "OK"
 
 echo
+echo "== route-serving budgets (>=100k qps, mmap-shared, bit-identical) =="
+python benchmarks/bench_route_service.py
+
+echo
+echo "== serve CLI smoke (small replay, scalar equality assert) =="
+SERVE_CACHE="$(mktemp -d)"
+SERVE_TRAJ="$SERVE_CACHE/trajectory.jsonl"
+REPRO_BENCH_TRAJECTORY="$SERVE_TRAJ" python -m repro serve bench \
+    --network hypercube --param n=6 --queries 20000 --batch 5000 \
+    --shards 2 --jobs 2 --verify-sample 1000 \
+    --cache-dir "$SERVE_CACHE" > /dev/null
+python - "$SERVE_TRAJ" <<'PYEOF'
+import json, sys
+# the bench replay above must have appended one JSONL trajectory record
+# with a clean scalar cross-check
+(rec,) = [json.loads(line) for line in open(sys.argv[1])]
+assert rec["mismatches"] == 0 and rec["verified"] == 1000, rec
+assert rec["backend"] == "mmap" and rec["mmap"], rec
+PYEOF
+rm -rf "$SERVE_CACHE"
+echo "OK"
+
+echo
 echo "== fault-tolerance example smoke test =="
 python examples/fault_tolerance.py > /dev/null
 echo "OK"

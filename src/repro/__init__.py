@@ -28,6 +28,7 @@ from . import (
     networks,
     parallel,
     routing,
+    serve,
     sim,
 )
 from .core import (
@@ -63,6 +64,7 @@ __all__ = [
     "networks",
     "parallel",
     "routing",
+    "serve",
     "sim",
     "NucleusSpec",
     "Permutation",

@@ -11,6 +11,9 @@ Usage::
     python -m repro faults percolation --kind node --trials 8 --jobs 4
     python -m repro faults percolation --smoke
     python -m repro faults exhaustive --network hypercube --param n=4 --k 3
+    python -m repro serve bench --queries 1000000 --cache-dir ~/.cache/repro
+    python -m repro serve bench --shards 4 --jobs 4 --cache-dir ~/.cache/repro
+    python -m repro serve query --src 0,1 --dst 60,33
     python -m repro cache info
     python -m repro cache clear --cache-dir ~/.cache/repro
     python -m repro check lint src
@@ -29,6 +32,7 @@ see :mod:`repro.cache`).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -248,6 +252,69 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.cache import cached_next_hop_table
+    from repro.networks import build
+    from repro.serve import RouteService, run_load_test
+
+    params = _parse_params(args.param)
+    network = args.network
+    if network is None:
+        network = "hsn"
+        params = params or {"l": 2, "n": 3}
+    net = build(network, **params)
+    svc = RouteService.open(net, shards=args.shards)
+    if args.mode == "query":
+        if args.src is None or args.dst is None:
+            raise SystemExit("serve query requires --src and --dst (comma-separated ids)")
+        try:
+            src = [int(s) for s in args.src.split(",") if s != ""]
+            dst = [int(s) for s in args.dst.split(",") if s != ""]
+        except ValueError:
+            raise SystemExit(
+                f"--src/--dst expect comma-separated ints, got {args.src!r} / {args.dst!r}"
+            )
+        out = svc.resolve(src, dst, paths=True)
+        for i in range(len(out)):
+            print(
+                f"{int(out.src[i])} -> {int(out.dst[i])}: "
+                f"dist={int(out.distance[i])} path={out.path_list(i)}"
+            )
+        return 0
+    if args.jobs != 1 and svc.source != "mmap":
+        raise SystemExit(
+            "serve bench --jobs N requires --cache-dir (or $REPRO_CACHE_DIR) so "
+            "workers share the table via mmap instead of copying it"
+        )
+    table = None
+    if not args.no_verify:
+        table = cached_next_hop_table(net, with_distances=True)
+    report = run_load_test(
+        svc,
+        table,
+        queries=args.queries,
+        batch=args.batch,
+        seed=args.seed,
+        jobs=args.jobs,
+        verify_sample=args.verify_sample,
+    )
+    print(json.dumps(report))
+    traj = os.environ.get("REPRO_BENCH_TRAJECTORY")
+    if traj:  # same commit-over-commit JSONL the benchmarks append to
+        with open(traj, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(report) + "\n")
+    if report["mismatches"]:
+        print(
+            f"FAIL: {report['mismatches']} answers diverged from the scalar "
+            f"NextHopTable.path walk",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_cache(args) -> int:
     from repro import cache
 
@@ -406,6 +473,50 @@ def main(argv: list[str] | None = None) -> int:
         "no traffic; defaults to hypercube n=4)",
     )
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="routing-as-a-service: batched route resolution over "
+        "mmap-shared next-hop tables",
+        parents=[profiled, tuned],
+    )
+    p_srv.add_argument(
+        "mode",
+        nargs="?",
+        choices=["bench", "query"],
+        default="bench",
+        help="bench: replay a seeded query stream and report qps/latency "
+        "(default); query: resolve explicit --src/--dst pairs",
+    )
+    p_srv.add_argument(
+        "--network", default=None, help="registry name (default: hsn l=2 n=3)"
+    )
+    p_srv.add_argument("--param", action="append", default=[], metavar="K=V")
+    p_srv.add_argument(
+        "--queries", type=int, default=200_000, help="replayed query count"
+    )
+    p_srv.add_argument(
+        "--batch", type=int, default=50_000, help="queries per resolve batch"
+    )
+    p_srv.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the table into N dst-row shards (each its own mmap spill)",
+    )
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument(
+        "--verify-sample",
+        type=int,
+        default=2000,
+        help="seeded sample size checked bit-for-bit against the scalar "
+        "NextHopTable.path walk",
+    )
+    p_srv.add_argument(
+        "--no-verify", action="store_true", help="skip the scalar cross-check"
+    )
+    p_srv.add_argument("--src", default=None, metavar="I,J,...")
+    p_srv.add_argument("--dst", default=None, metavar="I,J,...")
+
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the persistent artifact cache"
     )
@@ -431,6 +542,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure": cmd_figure,
         "summary": cmd_summary,
         "faults": cmd_faults,
+        "serve": cmd_serve,
         "cache": cmd_cache,
     }[args.cmd]
 

@@ -278,6 +278,66 @@ class ArtifactCache:
         reg.incr("cache.bytes.read", path.stat().st_size)
         return out
 
+    # -- uncompressed mmap spills (shared read-only serving tables) -----
+    def mmap_path(self, key: str, name: str, suffix: str = "srv") -> Path:
+        """On-disk location of one array's uncompressed ``.npy`` spill.
+
+        Compressed ``.npz`` archives cannot be memory-mapped (``np.load``
+        silently ignores ``mmap_mode`` for zip archives), so artifacts that
+        must be shared zero-copy across processes — the serving layer's
+        next-hop tables — are materialized once as raw ``.npy`` files
+        beside the canonical archive and opened with ``mmap_mode="r"``.
+        """
+        return self.root / key[:2] / f"{key}.{suffix}.{name}.npy"
+
+    def export_mmap(
+        self, key: str, arrays: dict[str, np.ndarray], suffix: str = "srv"
+    ) -> dict[str, Path]:
+        """Materialize ``arrays`` as mmap-able ``.npy`` spills under ``key``.
+
+        Idempotent: existing spills are kept (they are pure functions of the
+        key).  Writes are atomic like every other artifact.  Returns the
+        spill path per array name.
+        """
+        reg = obs.registry()
+        out: dict[str, Path] = {}
+        for name, arr in arrays.items():
+            path = self.mmap_path(key, name, suffix)
+            if not path.exists():
+                # np.save appends ".npy" to bare filenames; write through a
+                # file object so the atomic temp name is saved verbatim
+                def _save(tmp: Path, a: np.ndarray = arr) -> None:
+                    with open(tmp, "wb") as fh:
+                        np.save(fh, np.ascontiguousarray(a))
+
+                nbytes = self._atomic_write(path, _save)
+                reg.incr("cache.mmap.export")
+                reg.incr("cache.bytes", nbytes)
+            out[name] = path
+        return out
+
+    def load_mmap(self, key: str, name: str, suffix: str = "srv") -> np.ndarray | None:
+        """Open one spill memory-mapped read-only (``None`` on a miss).
+
+        The returned array is an ``np.memmap`` view backed by the page
+        cache, so any number of processes opening the same spill share one
+        physical copy of the data.
+        """
+        reg = obs.registry()
+        path = self.mmap_path(key, name, suffix)
+        if not path.exists():
+            reg.incr("cache.miss")
+            return None
+        try:
+            arr = np.load(path, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError):  # corrupt/foreign spill
+            reg.incr("cache.error")
+            path.unlink(missing_ok=True)
+            reg.incr("cache.miss")
+            return None
+        reg.incr("cache.mmap.open")
+        return arr
+
     # -- maintenance ----------------------------------------------------
     def entries(self) -> list[Path]:
         """Every artifact file currently in the cache."""
@@ -295,6 +355,8 @@ class ArtifactCache:
             p.unlink(missing_ok=True)
             removed += 1
         for m in self.root.glob("*/*.json"):
+            m.unlink(missing_ok=True)
+        for m in self.root.glob("*/*.npy"):  # serving-layer mmap spills
             m.unlink(missing_ok=True)
         for d in sorted(self.root.glob("*")):
             if d.is_dir() and not any(d.iterdir()):

@@ -69,7 +69,8 @@ def cached_next_hop_table(
         with_distances=with_distances,
         allow_unreachable=allow_unreachable,
     )
-    cache.store_arrays(key, table.to_arrays())
+    arrays = table.to_arrays()
+    cache.store_arrays(key, arrays)
     if obs.artifact_sink() is not None:
-        obs.artifact("routing.next_hop_table", table.to_arrays())
+        obs.artifact("routing.next_hop_table", arrays)
     return table

@@ -132,6 +132,11 @@ HOT_PERIMETER: tuple[HotKernel, ...] = (
         "batched channel arbitration",
     ),
     HotKernel(
+        "repro.serve.service.RouteService.resolve",
+        "batched route-query serving (gather-per-hop, no per-query Python)",
+        contracts=(("out", "int32"), ("paths", "int32")),
+    ),
+    HotKernel(
         "repro.fault.percolation.masked_components",
         "batched union-find component labeling",
         contracts=(("label", "int64"), ("flat_src", "int64"), ("flat_dst", "int64")),

@@ -136,6 +136,24 @@ def _wl_sim(smoke: bool) -> Callable[[], int]:
     return run
 
 
+def _wl_serve(smoke: bool) -> Callable[[], int]:
+    from repro.networks import build
+    from repro.routing.table import NextHopTable
+    from repro.serve import RouteService
+    from repro.serve.harness import seeded_queries
+
+    net = build("hsn", l=2, n=3) if smoke else build("hypercube", n=9)
+    svc = RouteService.from_table(NextHopTable(net, with_distances=True))
+    count = 50_000 if smoke else 500_000
+    src, dst = seeded_queries(net.num_nodes, count, seed=0)
+
+    def run() -> int:
+        svc.resolve(src, dst)
+        return count
+
+    return run
+
+
 def _wl_percolation(smoke: bool) -> Callable[[], int]:
     import numpy as np
 
@@ -190,6 +208,12 @@ WORKLOADS: tuple[Workload, ...] = (
         "repro.sim.simulator.PacketSimulator.run",
         "packet",
         _wl_sim,
+    ),
+    Workload(
+        "route_resolve",
+        "repro.serve.service.RouteService.resolve",
+        "query",
+        _wl_serve,
     ),
     Workload(
         "percolation",

@@ -85,6 +85,11 @@ class NextHopTable:
         with_distances: bool = False,
         allow_unreachable: bool = False,
     ):
+        chunk = int(chunk)
+        if chunk < 1:
+            raise ValueError(
+                f"chunk must be a positive BFS batch size, got {chunk}"
+            )
         n = net.num_nodes
         csr = net.adjacency_csr()
         indptr, indices = csr.indptr, csr.indices
@@ -192,19 +197,41 @@ class NextHopTable:
         self._indptr = csr.indptr
         self._indices = csr.indices
         self.table = table
-        self.dist = None if dist is None else np.asarray(dist, dtype=np.int32)
+        if dist is not None:
+            dist = np.asarray(dist, dtype=np.int32)
+            if dist.shape != (n, n):
+                raise ValueError(
+                    f"distance matrix shape {dist.shape} does not match "
+                    f"{net.name!r} ({n} nodes)"
+                )
+        self.dist = dist
         reg = obs.registry()
         reg.incr("routing.table.loads")
         reg.incr("routing.table.nodes", n)
         return self
 
+    def _check_node(self, v: int, role: str) -> int:
+        """Validate one node id; negative or too-large ids would otherwise
+        silently read another node's slot via numpy wraparound indexing."""
+        v = int(v)
+        n = self.net.num_nodes
+        if not 0 <= v < n:
+            raise ValueError(
+                f"{role} node id {v} is out of range for {self.net.name!r} "
+                f"(valid ids: 0..{n - 1})"
+            )
+        return v
+
     def next_hop(self, u: int, dst: int) -> int:
         """Neighbor of ``u`` on a shortest path to ``dst``.
 
-        Raises :class:`~repro.core.network.RoutingError` (naming the pair)
+        Raises :class:`ValueError` when either id is outside ``0..n-1``,
+        and :class:`~repro.core.network.RoutingError` (naming the pair)
         if ``dst`` is unreachable from ``u`` — only possible on tables built
         with ``allow_unreachable=True``.
         """
+        u = self._check_node(u, "source")
+        dst = self._check_node(dst, "destination")
         v = int(self.table[dst, u])
         if v < 0:
             raise RoutingError(
@@ -221,6 +248,8 @@ class NextHopTable:
         """
         if self.dist is None:
             raise ValueError("table was built without with_distances=True")
+        u = self._check_node(u, "source")
+        dst = self._check_node(dst, "destination")
         d = int(self.dist[dst, u])
         if d < 0:
             raise RoutingError(
@@ -238,6 +267,8 @@ class NextHopTable:
         """
         if self.dist is None:
             raise ValueError("table was built without with_distances=True")
+        u = self._check_node(u, "source")
+        dst = self._check_node(dst, "destination")
         if u == dst:
             return [dst]
         d = self.dist[dst]
@@ -248,6 +279,8 @@ class NextHopTable:
 
     def path(self, src: int, dst: int) -> list[int]:
         """Full shortest path from ``src`` to ``dst``."""
+        src = self._check_node(src, "source")
+        dst = self._check_node(dst, "destination")
         out = [src]
         guard = self.net.num_nodes + 1
         while out[-1] != dst:

@@ -1,0 +1,416 @@
+"""Batched route-query serving over memory-mapped next-hop tables.
+
+:class:`RouteService` is the query front end of the routing layer: it
+answers ``resolve(src[], dst[])`` for whole batches at once by walking the
+query vector through a :class:`~repro.routing.table.NextHopTable` with
+numpy gathers — no per-query Python — and it can be backed three ways:
+
+* **memory** — wrap an in-process table (:meth:`RouteService.from_table`);
+* **mmap** — open the table zero-copy from the artifact cache
+  (:meth:`RouteService.open`): the table is materialized once as
+  uncompressed ``.npy`` spills beside the canonical ``.npz`` artifact and
+  every process that opens it shares one physical copy through the page
+  cache (``np.load(..., mmap_mode="r")``);
+* **sharded mmap** — for tables too large to treat as one artifact, the
+  ``dst``-major row space is split into ``shards`` row blocks, each its
+  own content-addressed spill keyed off the registry cache key; queries
+  are grouped per shard with a ``searchsorted`` over the row starts and
+  gathered block-wise.
+
+Every answer is bit-identical to the scalar
+:meth:`~repro.routing.table.NextHopTable.next_hop` /
+:meth:`~repro.routing.table.NextHopTable.path` walk on the same table —
+the serving layer changes the cost model, never the routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro import obs
+from repro.core.network import RoutingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.cache.artifacts import ArtifactCache
+    from repro.core.network import Network
+    from repro.routing.table import NextHopTable
+
+__all__ = ["ResolveBatch", "RouteService", "ServiceSpec", "shard_row_starts"]
+
+
+def shard_row_starts(num_nodes: int, shards: int) -> tuple[int, ...]:
+    """Row boundaries splitting ``num_nodes`` dst rows into ``shards``
+    near-equal blocks: ``starts[i]..starts[i+1]`` is shard ``i``'s range."""
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, max(1, int(num_nodes)))
+    bounds = np.linspace(0, num_nodes, shards + 1).astype(np.int64)
+    return tuple(int(b) for b in bounds)
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Picklable handle to an mmap-backed service.
+
+    Carries only names, shapes and spill paths — never array data — so
+    shipping it to :mod:`repro.parallel` workers costs O(shards), not
+    O(N²); each worker re-opens the spills memory-mapped and shares the
+    same physical pages.
+    """
+
+    name: str
+    num_nodes: int
+    row_starts: tuple[int, ...]
+    table_paths: tuple[str, ...]
+    dist_paths: tuple[str, ...] | None
+
+
+@dataclass(frozen=True)
+class ResolveBatch:
+    """One batch of resolved queries (all arrays are query-aligned).
+
+    ``next_hop[i]`` is the first hop from ``src[i]`` toward ``dst[i]``
+    (``dst[i]`` itself when they coincide), ``distance[i]`` the hop count,
+    and — when paths were requested — ``paths[i]`` the full node sequence
+    padded with ``-1`` to the batch's longest route.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    next_hop: np.ndarray
+    distance: np.ndarray
+    paths: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return int(self.src.shape[0])
+
+    def path_list(self, i: int) -> list[int]:
+        """Query ``i``'s path as a plain list (requires ``paths=True``)."""
+        if self.paths is None:
+            raise ValueError("batch was resolved without paths=True")
+        return self.paths[i, : int(self.distance[i]) + 1].tolist()
+
+    def path_lists(self) -> list[list[int]]:
+        """Every path as a list of lists (test/interop convenience)."""
+        return [self.path_list(i) for i in range(len(self))]
+
+
+class RouteService:
+    """Batched shortest-path query service over a next-hop table.
+
+    Construct via :meth:`from_table` (in-memory) or :meth:`open`
+    (mmap-shared through the artifact cache, optionally sharded).  The
+    query API never touches per-query Python: a batch of Q queries costs
+    O(Q) vectorized gathers per hop step.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_nodes: int,
+        blocks: list[np.ndarray],
+        row_starts: tuple[int, ...],
+        dist_blocks: list[np.ndarray] | None = None,
+        source: str = "memory",
+    ) -> None:
+        if len(row_starts) != len(blocks) + 1:
+            raise ValueError(
+                f"row_starts must have one more entry than blocks, got "
+                f"{len(row_starts)} for {len(blocks)} block(s)"
+            )
+        self.name = name
+        self.num_nodes = int(num_nodes)
+        self.source = source
+        self._blocks = list(blocks)
+        self._row_starts = np.asarray(row_starts, dtype=np.int64)
+        self._dist_blocks = None if dist_blocks is None else list(dist_blocks)
+        self._spec: ServiceSpec | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteService({self.name!r}, N={self.num_nodes}, "
+            f"shards={self.shards}, source={self.source!r})"
+        )
+
+    @property
+    def shards(self) -> int:
+        """Number of dst-row blocks the table is split into."""
+        return len(self._blocks)
+
+    @property
+    def mmap_backed(self) -> bool:
+        """Whether every block is an ``np.memmap`` view (zero-copy shared)."""
+        blocks = self._blocks + (self._dist_blocks or [])
+        return all(isinstance(b, np.memmap) for b in blocks)
+
+    @property
+    def has_distances(self) -> bool:
+        """Whether distances come from a stored matrix (O(1) per query)."""
+        return self._dist_blocks is not None
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_table(cls, table: "NextHopTable") -> "RouteService":
+        """Serve an in-process table (no cache, no sharing)."""
+        dist = None if table.dist is None else [table.dist]
+        return cls(
+            table.net.name,
+            table.net.num_nodes,
+            [table.table],
+            (0, table.net.num_nodes),
+            dist,
+            source="memory",
+        )
+
+    @classmethod
+    def open(
+        cls,
+        net: "Network",
+        shards: int = 1,
+        with_distances: bool = True,
+        chunk: int = 64,
+        cache: "ArtifactCache | None" = None,
+    ) -> "RouteService":
+        """Open (building on first use) the mmap-shared service for ``net``.
+
+        Requires an artifact cache and a registry-stamped ``cache_key`` on
+        the network to share tables; without either this degrades to an
+        in-memory build (documented fallback, ``source == "memory"``).
+        Each shard's row block is exported once as an uncompressed spill
+        keyed by ``cache_key("serve.shard", graph=<registry key>, ...)``;
+        later opens — including every :mod:`repro.parallel` worker — map
+        the same files read-only.
+        """
+        from repro.cache import cache_key, cached_next_hop_table, get_cache
+        from repro.routing.table import NextHopTable
+
+        cache = cache if cache is not None else get_cache()
+        net_key = getattr(net, "cache_key", None)
+        reg = obs.registry()
+        if cache is None or net_key is None:
+            table = NextHopTable(net, chunk=chunk, with_distances=with_distances)
+            reg.incr("serve.open.memory")
+            return cls.from_table(table)
+        n = net.num_nodes
+        row_starts = shard_row_starts(n, shards)
+        nblocks = len(row_starts) - 1
+        # `chunk` is a BFS batching knob: it sets peak memory of the build,
+        # not the table's contents, so shards are shared across chunk sizes
+        keys = [
+            cache_key(  # repro: noqa[RPR012]
+                "serve.shard",
+                graph=net_key,
+                shard=i,
+                shards=nblocks,
+                with_distances=with_distances,
+            )
+            for i in range(nblocks)
+        ]
+        names = ("table", "dist") if with_distances else ("table",)
+        missing = [
+            i
+            for i, k in enumerate(keys)
+            if any(not cache.mmap_path(k, nm).exists() for nm in names)
+        ]
+        if missing:
+            # one chunked build (or .npz reload) feeds every missing shard
+            table = cached_next_hop_table(
+                net, chunk=chunk, with_distances=with_distances, cache=cache
+            )
+            for i in missing:
+                lo, hi = row_starts[i], row_starts[i + 1]
+                arrays = {"table": table.table[lo:hi]}
+                if with_distances:
+                    assert table.dist is not None
+                    arrays["dist"] = table.dist[lo:hi]
+                cache.export_mmap(keys[i], arrays)
+        blocks = [cache.load_mmap(k, "table") for k in keys]
+        dist_blocks = (
+            [cache.load_mmap(k, "dist") for k in keys] if with_distances else None
+        )
+        loaded = blocks + (dist_blocks or [])
+        if any(b is None for b in loaded):  # corrupt spill: rebuild in memory
+            table = cached_next_hop_table(
+                net, chunk=chunk, with_distances=with_distances, cache=cache
+            )
+            reg.incr("serve.open.memory")
+            return cls.from_table(table)
+        svc = cls(net.name, n, blocks, row_starts, dist_blocks, source="mmap")
+        svc._spec = ServiceSpec(
+            name=net.name,
+            num_nodes=n,
+            row_starts=row_starts,
+            table_paths=tuple(str(cache.mmap_path(k, "table")) for k in keys),
+            dist_paths=(
+                tuple(str(cache.mmap_path(k, "dist")) for k in keys)
+                if with_distances
+                else None
+            ),
+        )
+        reg.incr("serve.open.mmap")
+        reg.gauge_max("serve.shards", nblocks)
+        return svc
+
+    @classmethod
+    def from_spec(cls, spec: ServiceSpec) -> "RouteService":
+        """Re-open an mmap-backed service from its picklable spec."""
+        blocks = [
+            np.load(p, mmap_mode="r", allow_pickle=False) for p in spec.table_paths
+        ]
+        dist_blocks = (
+            [np.load(p, mmap_mode="r", allow_pickle=False) for p in spec.dist_paths]
+            if spec.dist_paths is not None
+            else None
+        )
+        svc = cls(
+            spec.name, spec.num_nodes, blocks, spec.row_starts, dist_blocks,
+            source="mmap",
+        )
+        svc._spec = spec
+        return svc
+
+    def spec(self) -> ServiceSpec:
+        """The picklable worker handle (mmap-backed services only)."""
+        if self._spec is None:
+            raise ValueError(
+                "service is not mmap-backed: open it through RouteService.open "
+                "with an artifact cache configured so workers can share the "
+                "table instead of copying it"
+            )
+        return self._spec
+
+    # -- query path -----------------------------------------------------
+    def _validate_ids(self, a: object, role: str) -> np.ndarray:
+        """1-D int64 view of a query id vector, every id in ``0..n-1``.
+
+        Negative or too-large ids would silently read another node's table
+        slot via numpy wraparound indexing — same contract as the scalar
+        :meth:`NextHopTable.next_hop` validation.
+        """
+        arr = np.atleast_1d(np.asarray(a, dtype=np.int64))
+        if arr.ndim != 1:
+            raise ValueError(f"{role} ids must be a 1-D sequence, got shape {arr.shape}")
+        bad = (arr < 0) | (arr >= self.num_nodes)
+        if bad.any():
+            i = int(bad.argmax())
+            raise ValueError(
+                f"{role} node id {int(arr[i])} at position {i} is out of "
+                f"range for {self.name!r} (valid ids: 0..{self.num_nodes - 1})"
+            )
+        return arr
+
+    def _gather(
+        self, dst: np.ndarray, cur: np.ndarray, blocks: list[np.ndarray]
+    ) -> np.ndarray:
+        """``blocks[dst, cur]`` across the shard row blocks (one fancy
+        gather per shard touched; the loop is over shards, not queries)."""
+        if len(blocks) == 1:
+            return blocks[0][dst, cur]
+        out = np.empty(dst.shape[0], dtype=np.int32)
+        starts = self._row_starts
+        sid = np.searchsorted(starts, dst, side="right") - 1
+        # iterates over the handful of shard blocks, not over queries — each
+        # iteration gathers that shard's whole query subset at once
+        for s in range(len(blocks)):  # repro: noqa[RPR020]
+            sel = np.nonzero(sid == s)[0]
+            if sel.size:
+                out[sel] = blocks[s][dst[sel] - starts[s], cur[sel]]
+        return out
+
+    def _walk_distances(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Hop counts by walking still-active queries one step per round."""
+        distance = np.zeros(src.shape[0], dtype=np.int64)
+        cur = src.copy()
+        active = np.nonzero(cur != dst)[0]
+        guard = self.num_nodes + 1
+        steps = 0
+        while active.size:
+            steps += 1
+            if steps > guard:  # pragma: no cover — corrupt table
+                raise RuntimeError("routing loop detected")
+            nxt = self._gather(dst[active], cur[active], self._blocks).astype(np.int64)
+            cur[active] = nxt
+            distance[active] += 1
+            active = active[nxt != dst[active]]
+        return distance
+
+    def _materialize_paths(
+        self, src: np.ndarray, dst: np.ndarray, distance: np.ndarray
+    ) -> np.ndarray:
+        """Full paths, padded with ``-1``: column ``t`` is every active
+        query's ``t``-th hop, so total work is O(sum of path lengths)."""
+        width = int(distance.max(initial=0)) + 1
+        paths = np.full((src.shape[0], width), -1, dtype=np.int32)
+        paths[:, 0] = src
+        cur = src.copy()
+        for t in range(1, width):
+            idx = np.nonzero(distance >= t)[0]
+            if idx.size == 0:  # pragma: no cover — width tracks max distance
+                break
+            nxt = self._gather(dst[idx], cur[idx], self._blocks).astype(np.int64)
+            paths[idx, t] = nxt
+            cur[idx] = nxt
+        return paths
+
+    def resolve(
+        self, src: object, dst: object, paths: bool = False
+    ) -> ResolveBatch:
+        """Resolve a whole query batch: first hops, distances, optional paths.
+
+        ``src``/``dst`` are equal-length id sequences.  Raises
+        :class:`ValueError` on out-of-range ids and
+        :class:`~repro.core.network.RoutingError` (naming the first bad
+        pair) when a query crosses connected components — identical
+        contracts, messages included, to the scalar table walk.
+        """
+        src_ids = self._validate_ids(src, "source")
+        dst_ids = self._validate_ids(dst, "destination")
+        if src_ids.shape[0] != dst_ids.shape[0]:
+            raise ValueError(
+                f"src and dst must have the same length, got "
+                f"{src_ids.shape[0]} and {dst_ids.shape[0]}"
+            )
+        q = src_ids.shape[0]
+        reg = obs.registry()
+        with obs.span("serve.resolve", queries=q, shards=self.shards):
+            hops = self._gather(dst_ids, src_ids, self._blocks)
+            unreachable = (hops < 0) & (src_ids != dst_ids)
+            if unreachable.any():
+                i = int(unreachable.argmax())
+                raise RoutingError(
+                    f"no route from node {int(src_ids[i])} to node "
+                    f"{int(dst_ids[i])} in {self.name!r}: they lie in "
+                    f"different connected components"
+                )
+            if self._dist_blocks is not None:
+                distance = self._gather(
+                    dst_ids, src_ids, self._dist_blocks
+                ).astype(np.int64)
+            else:
+                distance = self._walk_distances(src_ids, dst_ids)
+            out_paths = (
+                self._materialize_paths(src_ids, dst_ids, distance)
+                if paths
+                else None
+            )
+        reg.incr("serve.queries", q)
+        reg.incr("serve.batches")
+        return ResolveBatch(
+            src=src_ids,
+            dst=dst_ids,
+            next_hop=np.asarray(hops, dtype=np.int32),
+            distance=distance,
+            paths=out_paths,
+        )
+
+    def resolve_paths(self, src: object, dst: object) -> ResolveBatch:
+        """:meth:`resolve` with full path materialization."""
+        return self.resolve(src, dst, paths=True)
+
+    def distances(self, src: object, dst: object) -> np.ndarray:
+        """Hop distances only (query-aligned int64 vector)."""
+        return self.resolve(src, dst).distance

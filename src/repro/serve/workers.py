@@ -1,0 +1,118 @@
+"""Multi-process query fan-out sharing one mmap table (``repro.serve``).
+
+:func:`parallel_resolve` splits a query stream into batches and runs them
+through :func:`repro.parallel.run_tasks`.  The context shipped to workers
+is a :class:`~repro.serve.service.ServiceSpec` — names and spill paths,
+never array data — so fan-out cost is O(shards) per worker instead of an
+O(N²) table copy: every worker re-opens the same ``.npy`` spills with
+``np.load(..., mmap_mode="r")`` and the OS page cache backs them all with
+one physical copy.
+
+Results are bit-identical across ``jobs`` settings because resolution is a
+pure function of (table, query batch) and :func:`run_tasks` returns
+results in task order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel import effective_jobs, run_tasks
+
+from .service import ResolveBatch, RouteService, ServiceSpec
+
+__all__ = ["merge_batches", "parallel_resolve", "worker_backends"]
+
+#: per-process memo of opened services keyed by their immutable spec; a
+#: service is a pure (read-only) function of its spec, so reuse across
+#: tasks in one worker is deterministic and costs one mmap open per process
+_WORKER_SERVICES: dict[ServiceSpec, RouteService] = {}
+
+
+def _service_for(spec: ServiceSpec) -> RouteService:
+    svc = _WORKER_SERVICES.get(spec)
+    if svc is None:
+        # per-process memo: each worker opens its own read-only mmap view,
+        # a pure function of the immutable spec, so forked copies never
+        # diverge (same reasoning as artifacts._PROVENANCE)
+        svc = _WORKER_SERVICES[spec] = RouteService.from_spec(spec)  # repro: noqa[RPR011]
+    return svc
+
+
+def _resolve_task(spec: ServiceSpec, task: tuple) -> ResolveBatch:
+    src, dst, want_paths = task
+    return _service_for(spec).resolve(src, dst, paths=want_paths)
+
+
+def _probe_task(spec: ServiceSpec, _task: int) -> dict:
+    """Report how this worker's copy of the service is backed (tests/bench
+    assert every worker resolved through an mmap view, not a copy)."""
+    svc = _service_for(spec)
+    return {"mmap": bool(svc.mmap_backed), "shards": svc.shards}
+
+
+def merge_batches(batches: list[ResolveBatch]) -> ResolveBatch:
+    """Concatenate query-aligned batches back into one (paths re-padded to
+    the widest batch)."""
+    if not batches:
+        raise ValueError("cannot merge an empty batch list")
+    if len(batches) == 1:
+        return batches[0]
+    paths = None
+    if all(b.paths is not None for b in batches):
+        width = max(b.paths.shape[1] for b in batches)
+        padded = []
+        for b in batches:
+            p = b.paths
+            if p.shape[1] < width:
+                full = np.full((p.shape[0], width), -1, dtype=np.int32)
+                full[:, : p.shape[1]] = p
+                p = full
+            padded.append(p)
+        paths = np.concatenate(padded, axis=0)
+    return ResolveBatch(
+        src=np.concatenate([b.src for b in batches]),
+        dst=np.concatenate([b.dst for b in batches]),
+        next_hop=np.concatenate([b.next_hop for b in batches]),
+        distance=np.concatenate([b.distance for b in batches]),
+        paths=paths,
+    )
+
+
+def parallel_resolve(
+    service: RouteService,
+    src: object,
+    dst: object,
+    jobs: int | None = 1,
+    batch: int = 65536,
+    paths: bool = False,
+) -> ResolveBatch:
+    """Resolve a query stream across worker processes sharing the table.
+
+    ``jobs=1`` (default) runs inline; ``jobs != 1`` requires an
+    mmap-backed service (see :meth:`RouteService.spec`) so the table is
+    shared, not pickled.  ``batch`` is the per-task query count.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    src_arr = np.atleast_1d(np.asarray(src, dtype=np.int64))
+    dst_arr = np.atleast_1d(np.asarray(dst, dtype=np.int64))
+    tasks = [
+        (src_arr[lo : lo + batch], dst_arr[lo : lo + batch], paths)
+        for lo in range(0, max(1, src_arr.shape[0]), batch)
+    ]
+    jobs_eff = effective_jobs(jobs, len(tasks))
+    if jobs_eff <= 1:
+        results = [service.resolve(s, d, paths=p) for s, d, p in tasks]
+    else:
+        results = run_tasks(_resolve_task, service.spec(), tasks, jobs=jobs_eff)
+    return merge_batches(results)
+
+
+def worker_backends(service: RouteService, jobs: int) -> list[dict]:
+    """Open the service in ``jobs`` worker processes and report each
+    probe's backing (``{"mmap": bool, "shards": int}`` per task)."""
+    jobs_eff = effective_jobs(jobs)
+    return run_tasks(
+        _probe_task, service.spec(), list(range(jobs_eff)), jobs=jobs_eff
+    )
