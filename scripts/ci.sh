@@ -24,6 +24,10 @@ echo "== static analysis: kernel-perf hot-path lint =="
 python -m repro.check perf src
 
 echo
+echo "== static analysis: shape & broadcast lint =="
+python -m repro.check shapes src
+
+echo
 echo "== static analysis: ruff =="
 if command -v ruff > /dev/null 2>&1; then
     ruff check src
@@ -155,6 +159,10 @@ python -m repro.check sanitize --smoke
 echo
 echo "== runtime perf sanitizer (perimeter escapes + per-unit budgets) =="
 python -m repro.check perf --measure --smoke
+
+echo
+echo "== runtime shape sanitizer (recorded workload shape contracts) =="
+python -m repro.check shapes --measure --smoke
 
 echo
 echo "CI OK"

@@ -1,5 +1,6 @@
 """Static analysis for the repro codebase: lint, contracts, dataflow,
-perf, and runtime sanitizers — five tiers over one findings/report model:
+perf, shapes, and runtime sanitizers — six tiers over one findings/report
+model:
 
 * :mod:`repro.check.lint` — repo-specific AST linter (rules RPR001–
   RPR005, ``# repro: noqa[CODE]`` suppression);
@@ -16,7 +17,14 @@ perf, and runtime sanitizers — five tiers over one findings/report model:
   the declared hot-path perimeter: vectorization lint, array dtype
   contracts, loop-invariant hoisting; with its runtime cross-check
   :mod:`repro.check.perfsanitize` (SAN004–SAN005) profiling seeded
-  micro-workloads against recorded per-unit budgets.
+  micro-workloads against recorded per-unit budgets;
+* :mod:`repro.check.shapes` — shape & broadcast analyzer (RPR030–
+  RPR034) evaluating the same perimeter under the symbolic shape
+  interpreter of :mod:`repro.check.shapeinfer` (broadcast blow-ups,
+  bad axes, reshape mismatches, aliasing/read-only writes, declared
+  shape-contract drift); with its runtime cross-check
+  :mod:`repro.check.shapesanitize` (SAN006) recording concrete workload
+  shapes/dtypes against committed contracts.
 
 Run from the command line::
 
@@ -26,6 +34,8 @@ Run from the command line::
     python -m repro.check sanitize --smoke
     python -m repro.check perf src
     python -m repro.check perf --measure --smoke
+    python -m repro.check shapes src
+    python -m repro.check shapes --measure --smoke
 
 or as ``python -m repro check ...``.  See DESIGN.md for the rule catalog.
 """
@@ -39,6 +49,8 @@ from .perf import HOT_PERIMETER, PERF_RULES, HotKernel, hot_path_perimeter, perf
 from .perfsanitize import PERF_SANITIZE_RULES, perf_sanitize
 from .ruleset import RULESET_VERSION
 from .sanitize import SANITIZE_RULES, sanitize_sweep, sanitize_tasks
+from .shapes import SERVE_SHAPE_ROOTS, SHAPE_RULES, shape_paths
+from .shapesanitize import SHAPE_SANITIZE_RULES, shape_sanitize
 
 __all__ = [
     "Finding",
@@ -68,4 +80,9 @@ __all__ = [
     "perf_paths",
     "PERF_SANITIZE_RULES",
     "perf_sanitize",
+    "SHAPE_RULES",
+    "SERVE_SHAPE_ROOTS",
+    "shape_paths",
+    "SHAPE_SANITIZE_RULES",
+    "shape_sanitize",
 ]

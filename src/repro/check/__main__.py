@@ -8,6 +8,8 @@ Usage::
     python -m repro.check sanitize [--smoke]
     python -m repro.check perf [PATH ...]        # static hot-path lint
     python -m repro.check perf --measure [--smoke] [--update-budgets]
+    python -m repro.check shapes [PATH ...]      # static shape/broadcast lint
+    python -m repro.check shapes --measure [--smoke] [--update-contracts]
 
 Exit status is 0 when clean, 1 when any finding is reported — suitable
 for CI gates (see ``scripts/ci.sh``).  Every subcommand accepts
@@ -28,8 +30,9 @@ def build_parser() -> argparse.ArgumentParser:
             "static analysis + runtime sanitizers, one tier per subcommand: "
             "lint (source hygiene), contracts (paper invariants), dataflow "
             "(determinism/cache keys), sanitize (runtime determinism), perf "
-            "(hot-path vectorization + profile-guided budgets).  Exit status "
-            "is 0 when clean, 1 when any finding is reported."
+            "(hot-path vectorization + profile-guided budgets), shapes "
+            "(symbolic shape/broadcast analysis + recorded shape contracts). "
+            "Exit status is 0 when clean, 1 when any finding is reported."
         ),
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -163,6 +166,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="budget file (default: benchmarks/perf_budgets.json)",
     )
     p_perf.add_argument("--profile", action="store_true", help="print obs counters after")
+
+    p_shapes = sub.add_parser(
+        "shapes",
+        help=(
+            "shape & broadcast analyzer: symbolic shape lint over the "
+            "hot-path perimeter (static), or --measure for the recorded "
+            "shape-contract sanitizer"
+        ),
+    )
+    p_shapes.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to analyze (default: src)",
+    )
+    p_shapes.add_argument(
+        "--measure",
+        action="store_true",
+        help="run the seeded workload shape recorder instead of the static "
+        "pass (SAN006 contract drift)",
+    )
+    p_shapes.add_argument(
+        "--smoke",
+        action="store_true",
+        help="with --measure: smallest workload sizes and the 'smoke' contract profile",
+    )
+    p_shapes.add_argument(
+        "--update-contracts",
+        action="store_true",
+        help="with --measure: rewrite the contract profile from this run's "
+        "recorded shapes instead of comparing",
+    )
+    p_shapes.add_argument(
+        "--contracts",
+        default=None,
+        metavar="PATH",
+        help="contract file (default: benchmarks/shape_contracts.json)",
+    )
+    p_shapes.add_argument("--profile", action="store_true", help="print obs counters after")
     return parser
 
 
@@ -196,6 +238,19 @@ def run(args: argparse.Namespace) -> int:
                 from .perf import perf_paths
 
                 report = perf_paths(args.paths)
+        elif args.cmd == "shapes":
+            if args.measure or args.update_contracts:
+                from .shapesanitize import DEFAULT_CONTRACTS_PATH, shape_sanitize
+
+                report = shape_sanitize(
+                    smoke=args.smoke,
+                    contracts_path=args.contracts or DEFAULT_CONTRACTS_PATH,
+                    update=args.update_contracts,
+                )
+            else:
+                from .shapes import shape_paths
+
+                report = shape_paths(args.paths)
         elif args.cmd == "sanitize":
             from .sanitize import sanitize_sweep
 

@@ -1,13 +1,19 @@
 """Shared findings/report model for the static-analysis layers.
 
-Both the AST linter (:mod:`repro.check.lint`) and the paper-invariant
-contract checker (:mod:`repro.check.invariants`) emit :class:`Finding`
-records and collect them into a :class:`Report`, so CLI rendering, exit
-codes, and obs accounting are identical for the two layers.
+Every tier — the AST linter (:mod:`repro.check.lint`), the
+paper-invariant contract checker (:mod:`repro.check.invariants`), the
+determinism dataflow analyzer (:mod:`repro.check.determinism`), the
+kernel-perf pass (:mod:`repro.check.perf`), the shape & broadcast pass
+(:mod:`repro.check.shapes`), and the runtime sanitizers
+(:mod:`~repro.check.sanitize` / :mod:`~repro.check.perfsanitize` /
+:mod:`~repro.check.shapesanitize`) — emits :class:`Finding` records and
+collects them into a :class:`Report`, so CLI rendering, exit codes, and
+obs accounting are identical across tiers.
 
 A finding is ``location: CODE message`` where the location is a
-``file:line`` pair for lint findings and a family/instance string (e.g.
-``hsn(l=2, n=1)``) for contract findings.
+``file:line`` pair for source-anchored findings and a descriptor string
+(e.g. ``hsn(l=2, n=1)`` or ``shapes[route_resolve]``) for
+instance/workload findings.
 """
 
 from __future__ import annotations

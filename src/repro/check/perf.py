@@ -88,12 +88,20 @@ PERF_RULES: dict[str, str] = {
 @dataclass(frozen=True)
 class HotKernel:
     """One declared hot-path root: a qualname, why it is hot, and its
-    array dtype contracts (``(name, dtype)`` pairs checked by RPR023
-    throughout the kernel's reachable closure)."""
+    array contracts.
+
+    ``contracts`` are ``(name, dtype)`` pairs checked by RPR023
+    throughout the kernel's reachable closure.  ``shape`` are
+    ``(name, shape-spec)`` pairs — e.g. ``("starts", "(n,)")``, with the
+    special name ``"return"`` for the return value — parsed by
+    :func:`repro.check.shapeinfer.parse_shape` and checked by RPR034 at
+    the kernel root; all of one kernel's specs share a symbol namespace,
+    so ``(q,)`` declared twice must mean the same extent."""
 
     qualname: str
     reason: str
     contracts: tuple[tuple[str, str], ...] = ()
+    shape: tuple[tuple[str, str], ...] = ()
 
 
 #: the declared hot-path perimeter (registered in one place; tests build
@@ -113,6 +121,11 @@ HOT_PERIMETER: tuple[HotKernel, ...] = (
         "repro.routing.table.NextHopTable.__init__",
         "all-pairs next-hop table construction",
         contracts=(("nh", "int32"),),
+        shape=(
+            ("starts", "(n,)"),
+            ("cand_ids", "(nnz,)"),
+            ("dsts", "(r,)"),
+        ),
     ),
     HotKernel(
         "repro.metrics.distances.bfs_distances",
@@ -135,6 +148,12 @@ HOT_PERIMETER: tuple[HotKernel, ...] = (
         "repro.serve.service.RouteService.resolve",
         "batched route-query serving (gather-per-hop, no per-query Python)",
         contracts=(("out", "int32"), ("paths", "int32")),
+        shape=(
+            ("src_ids", "(q,)"),
+            ("dst_ids", "(q,)"),
+            ("hops", "(q,)"),
+            ("distance", "(q,)"),
+        ),
     ),
     HotKernel(
         "repro.fault.percolation.masked_components",

@@ -15,6 +15,7 @@ History
 1   lint (RPR001–RPR005) + contracts (CTR001–CTR008)
 2   dataflow tier: RPR010–RPR012 + runtime sanitizer (SAN001–SAN003)
 3   perf tier: RPR020–RPR024 + perf sanitizer (SAN004–SAN005)
+4   shape tier: RPR030–RPR034 + shape sanitizer (SAN006)
 """
 
 from __future__ import annotations
@@ -22,4 +23,4 @@ from __future__ import annotations
 __all__ = ["RULESET_VERSION"]
 
 #: current rule-set revision (append-only; see module docstring)
-RULESET_VERSION = 3
+RULESET_VERSION = 4

@@ -43,11 +43,23 @@ __all__ = ["ResolveBatch", "RouteService", "ServiceSpec", "shard_row_starts"]
 
 def shard_row_starts(num_nodes: int, shards: int) -> tuple[int, ...]:
     """Row boundaries splitting ``num_nodes`` dst rows into ``shards``
-    near-equal blocks: ``starts[i]..starts[i+1]`` is shard ``i``'s range."""
+    near-equal blocks: ``starts[i]..starts[i+1]`` is shard ``i``'s range.
+
+    Both degenerate directions raise: ``shards < 1`` is meaningless, and
+    ``shards > num_nodes`` would silently produce empty row blocks (and
+    empty ``.npy`` spills) that the caller almost certainly did not want
+    — the old behaviour of clamping to ``num_nodes`` hid exactly that
+    misconfiguration.
+    """
+    num_nodes = int(num_nodes)
     shards = int(shards)
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
-    shards = min(shards, max(1, int(num_nodes)))
+    if shards > num_nodes:
+        raise ValueError(
+            f"shards must be <= num_nodes ({num_nodes}), got {shards}: "
+            f"more shards than dst rows would create empty shard blocks"
+        )
     bounds = np.linspace(0, num_nodes, shards + 1).astype(np.int64)
     return tuple(int(b) for b in bounds)
 
@@ -294,6 +306,10 @@ class RouteService:
         arr = np.atleast_1d(np.asarray(a, dtype=np.int64))
         if arr.ndim != 1:
             raise ValueError(f"{role} ids must be a 1-D sequence, got shape {arr.shape}")
+        if arr.shape[0] == 0:
+            raise ValueError(
+                f"{role} ids are empty: resolve() requires at least one query"
+            )
         bad = (arr < 0) | (arr >= self.num_nodes)
         if bad.any():
             i = int(bad.argmax())

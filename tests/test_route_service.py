@@ -273,9 +273,38 @@ def test_open_without_cache_falls_back_to_memory(counters):
 def test_shard_row_starts_partitions():
     assert shard_row_starts(10, 1) == (0, 10)
     assert shard_row_starts(10, 4) == (0, 2, 5, 7, 10)
-    assert shard_row_starts(3, 8) == (0, 1, 2, 3)  # clamps to num_nodes
+    assert shard_row_starts(3, 3) == (0, 1, 2, 3)
     with pytest.raises(ValueError, match="shards must be >= 1, got 0"):
         shard_row_starts(10, 0)
+
+
+def test_shard_row_starts_rejects_more_shards_than_rows_exact_message():
+    # the old behavior silently clamped 8 shards to 3, hiding the
+    # misconfiguration (and producing fewer spills than requested)
+    with pytest.raises(
+        ValueError,
+        match=r"shards must be <= num_nodes \(3\), got 8: more shards than "
+        r"dst rows would create empty shard blocks",
+    ):
+        shard_row_starts(3, 8)
+    with pytest.raises(ValueError, match=r"shards must be <= num_nodes \(0\), got 1"):
+        shard_row_starts(0, 1)
+
+
+def test_resolve_rejects_empty_queries_exact_message():
+    svc = RouteService.from_table(NextHopTable(networks.ring(8)))
+    with pytest.raises(
+        ValueError,
+        match=r"source ids are empty: resolve\(\) requires at least one query",
+    ):
+        svc.resolve([], [])
+    with pytest.raises(
+        ValueError,
+        match=r"destination ids are empty: resolve\(\) requires at least one query",
+    ):
+        svc.resolve([0], np.empty(0, dtype=np.int64))
+    with pytest.raises(ValueError, match="source ids are empty"):
+        svc.distances([], [0])
 
 
 @pytest.mark.parametrize("shards", [2, 3, 5])
@@ -319,6 +348,38 @@ def test_corrupt_spill_falls_back_to_memory(disk_cache, counters):
     src, dst = seeded_queries(net.num_nodes, 100, seed=0)
     want = np.array([ref.distance(int(s), int(d)) for s, d in zip(src, dst)])
     assert np.array_equal(svc.distances(src, dst), want)
+
+
+def test_load_mmap_arrays_are_read_only(disk_cache):
+    from repro.cache import cache_key
+
+    key = cache_key("serve.shard.test", probe=1)
+    disk_cache.export_mmap(key, {"table": np.arange(12, dtype=np.int32)})
+    arr = disk_cache.load_mmap(key, "table")
+    assert isinstance(arr, np.memmap)
+    assert arr.flags.writeable is False
+    with pytest.raises(ValueError, match="read-only"):
+        arr[0] = 99
+
+
+def test_from_spec_blocks_are_read_only_and_resolve_never_copies(disk_cache):
+    net = networks.build("hypercube", n=5)
+    spec = RouteService.open(net, shards=2).spec()
+    svc = RouteService.from_spec(spec)
+    blocks = svc._blocks + (svc._dist_blocks or [])
+    for b in blocks:
+        assert isinstance(b, np.memmap)
+        assert b.flags.writeable is False
+        with pytest.raises(ValueError, match="read-only"):
+            b[0, 0] = 1
+    # a full resolve (gathers + path materialization) must not trigger a
+    # copy-on-write of any shard: the same read-only memmaps stay in place
+    src, dst = seeded_queries(net.num_nodes, 500, seed=6)
+    svc.resolve(src, dst, paths=True)
+    for before, after in zip(blocks, svc._blocks + (svc._dist_blocks or [])):
+        assert after is before
+        assert isinstance(after, np.memmap)
+        assert after.flags.writeable is False
 
 
 def test_cache_clear_removes_spills(disk_cache):
